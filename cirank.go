@@ -1,0 +1,272 @@
+// Package cirank implements CI-Rank — ranking keyword search results over
+// relational data by their collective importance (Yu & Shi, ICDE 2012).
+//
+// CI-Rank models a database as a weighted directed graph (tuples are nodes,
+// foreign-key references are edge pairs), computes global node importance
+// with a random walk, and ranks the joined tuple trees answering a keyword
+// query with the Random Walk with Message Passing (RWMP) model: answers are
+// scored by how many messages their keyword nodes exchange, so both the
+// importance of every node in the answer — including the free "connector"
+// nodes IR-style rankers ignore — and the cohesiveness of the answer's
+// structure matter.
+//
+// Typical usage:
+//
+//	b := cirank.NewDBLPBuilder()
+//	b.MustInsert("Author", "a1", "Yannis Papakonstantinou")
+//	b.MustInsert("Author", "a2", "Jeffrey Ullman")
+//	b.MustInsert("Paper", "p1", "The TSIMMIS Project")
+//	b.MustRelate("written_by", "p1", "a1")
+//	b.MustRelate("written_by", "p1", "a2")
+//	eng, err := b.Build(cirank.DefaultConfig())
+//	// ...
+//	results, err := eng.Search("papakonstantinou ullman", 5)
+//
+// The packages under internal/ hold the building blocks (graph substrate,
+// text index, PageRank, the RWMP model, the search algorithms, the path
+// indexes, the baselines and the experiment harness); this package is the
+// stable public surface.
+package cirank
+
+import (
+	"fmt"
+
+	"cirank/internal/graph"
+	"cirank/internal/jtt"
+	"cirank/internal/pagerank"
+	"cirank/internal/pathindex"
+	"cirank/internal/relational"
+	"cirank/internal/rwmp"
+	"cirank/internal/search"
+	"cirank/internal/textindex"
+)
+
+// Config controls engine construction. Zero values take the paper's
+// defaults where one exists.
+type Config struct {
+	// Alpha is the message-keeping probability of the dampening function
+	// (default 0.15, the paper's chosen operating point).
+	Alpha float64
+	// Group is the talk group size g of the dampening function
+	// (default 20).
+	Group float64
+	// Teleport is the random-walk teleportation constant c (default 0.15).
+	Teleport float64
+	// IndexDepth, when positive, builds the §V-B star index with the given
+	// horizon, which speeds up searches whose diameter limit is at most
+	// this depth. 0 disables indexing.
+	IndexDepth int
+	// FeedbackMix routes this fraction of teleport mass through recorded
+	// feedback (Builder.AddFeedback), biasing importance toward nodes
+	// users clicked — the paper's user-preference adaptation (§VI-A,
+	// §VIII). 0 disables feedback biasing even if feedback was recorded.
+	FeedbackMix float64
+}
+
+// DefaultConfig returns the paper's configuration with a star index deep
+// enough for the evaluated diameters (D ≤ 6).
+func DefaultConfig() Config {
+	return Config{Alpha: 0.15, Group: 20, Teleport: 0.15, IndexDepth: 6}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.15
+	}
+	if c.Group == 0 {
+		c.Group = 20
+	}
+	if c.Teleport == 0 {
+		c.Teleport = 0.15
+	}
+	return c
+}
+
+// SearchOptions tune one query.
+type SearchOptions struct {
+	// Diameter is the maximal answer-tree diameter D (default 4).
+	Diameter int
+	// MaxExpansions caps branch-and-bound work (default 200000; 0 keeps
+	// the default, -1 removes the cap).
+	MaxExpansions int
+	// DisableIndex stops the engine's star index (if built) from assisting
+	// this search; by default an index is used whenever it exists and its
+	// horizon covers the diameter.
+	DisableIndex bool
+}
+
+// Row is one tuple of a search result.
+type Row struct {
+	Table string
+	Key   string
+	Text  string
+	// Matched reports whether this tuple matches at least one query term
+	// (a non-free node).
+	Matched bool
+}
+
+// Result is one ranked answer: a joined tuple tree.
+type Result struct {
+	Score float64
+	// Rows are the answer's tuples; Rows[0] is the tree root.
+	Rows []Row
+	// Edges are the tree edges as index pairs into Rows (child, parent).
+	Edges [][2]int
+
+	// tree and nodes (parallel to Rows) let Explain recompute the answer's
+	// message flows.
+	tree  *jtt.Tree
+	nodes []graph.NodeID
+}
+
+// Engine is an immutable, query-ready CI-Rank instance. It is safe for
+// concurrent use.
+type Engine struct {
+	g        *graph.Graph
+	ix       *textindex.Index
+	model    *rwmp.Model
+	searcher *search.Searcher
+	starIdx  *pathindex.StarIndex
+	imp      []float64
+	lookup   lookupFunc
+}
+
+// Search tokenizes the query string and returns the top-k answers. AND
+// semantics apply: every answer covers all query words; a query word with
+// no matching tuple yields no answers.
+func (e *Engine) Search(query string, k int) ([]Result, error) {
+	return e.SearchTerms(textindex.Tokenize(query), k, SearchOptions{})
+}
+
+// SearchTerms runs a query given pre-split terms and explicit options.
+func (e *Engine) SearchTerms(terms []string, k int, opts SearchOptions) ([]Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cirank: k must be at least 1, got %d", k)
+	}
+	sopts := search.Options{
+		K:             k,
+		Diameter:      opts.Diameter,
+		MaxExpansions: opts.MaxExpansions,
+	}
+	if sopts.Diameter == 0 {
+		sopts.Diameter = 4
+	}
+	switch {
+	case sopts.MaxExpansions == 0:
+		sopts.MaxExpansions = 200000
+	case sopts.MaxExpansions < 0:
+		sopts.MaxExpansions = 0
+	}
+	if e.starIdx != nil && !opts.DisableIndex && sopts.Diameter <= e.starIdx.MaxDepth() {
+		sopts.Index = e.starIdx
+	}
+	answers, _, err := e.searcher.TopK(terms, sopts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(answers))
+	for i, a := range answers {
+		out[i] = e.result(a, terms)
+	}
+	return out, nil
+}
+
+// result converts a search answer to the public form.
+func (e *Engine) result(a search.Answer, terms []string) Result {
+	nodes := a.Tree.Nodes()
+	// Root first, rest in ascending order.
+	ordered := make([]graph.NodeID, 0, len(nodes))
+	ordered = append(ordered, a.Tree.Root())
+	for _, v := range nodes {
+		if v != a.Tree.Root() {
+			ordered = append(ordered, v)
+		}
+	}
+	indexOf := make(map[graph.NodeID]int, len(ordered))
+	res := Result{Score: a.Score, tree: a.Tree, nodes: ordered}
+	for i, v := range ordered {
+		indexOf[v] = i
+		n := e.g.Node(v)
+		res.Rows = append(res.Rows, Row{
+			Table:   n.Relation,
+			Key:     n.Key,
+			Text:    n.Text,
+			Matched: e.ix.QueryMatchCount(v, terms) > 0,
+		})
+	}
+	for _, edge := range a.Tree.Edges() {
+		res.Edges = append(res.Edges, [2]int{indexOf[edge.Child], indexOf[edge.Parent]})
+	}
+	return res
+}
+
+// Importance returns the global importance value of the tuple (table, key),
+// and whether the tuple exists. Useful for diagnostics and feedback tools.
+func (e *Engine) Importance(table, key string) (float64, bool) {
+	id, ok := e.mappingLookup(table, key)
+	if !ok {
+		return 0, false
+	}
+	return e.imp[id], true
+}
+
+// NumNodes reports the size of the engine's data graph.
+func (e *Engine) NumNodes() int { return e.g.NumNodes() }
+
+// NumEdges reports the number of directed edges in the data graph.
+func (e *Engine) NumEdges() int { return e.g.NumEdges() }
+
+func (e *Engine) mappingLookup(table, key string) (graph.NodeID, bool) {
+	if e.lookup == nil {
+		return 0, false
+	}
+	return e.lookup(table, key)
+}
+
+// lookup resolves tuples to nodes; injected by Builder.Build.
+type lookupFunc func(table, key string) (graph.NodeID, bool)
+
+// buildEngine assembles an Engine from prepared parts.
+func buildEngine(g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Config, feedback map[graph.NodeID]float64) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	ix := textindex.Build(g)
+	prOpts := pagerank.DefaultOptions()
+	prOpts.Teleport = cfg.Teleport
+	if cfg.FeedbackMix > 0 && len(feedback) > 0 {
+		prOpts.Personalization = feedback
+		prOpts.PersonalizationMix = cfg.FeedbackMix
+	}
+	pr, err := pagerank.Compute(g, prOpts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := rwmp.New(g, ix, pr.Scores, rwmp.Params{Alpha: cfg.Alpha, Group: cfg.Group})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:        g,
+		ix:       ix,
+		model:    model,
+		searcher: search.New(model),
+		imp:      pr.Scores,
+		lookup:   func(table, key string) (graph.NodeID, bool) { return mp.NodeOf(table, key) },
+	}
+	if cfg.IndexDepth > 0 {
+		damp := make([]float64, g.NumNodes())
+		for i := range damp {
+			damp[i] = model.Damp(graph.NodeID(i))
+		}
+		idx, err := pathindex.BuildStar(g, damp, isStar, cfg.IndexDepth)
+		if err != nil {
+			// Star indexing requires the star tables to cover every
+			// relationship; fall back to unindexed search for schemas
+			// where they don't.
+			e.starIdx = nil
+		} else {
+			e.starIdx = idx
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,101 @@
+// Command cirank-experiments regenerates the evaluation figures of the
+// CI-Rank paper (§VI) as text tables: the α and g parameter sweeps
+// (Fig. 6–7), the effectiveness comparison against SPARK and BANKS
+// (Fig. 8–9), the naive-vs-branch-and-bound timing (Fig. 10) and the star
+// index timing studies (Fig. 11–12).
+//
+// Usage:
+//
+//	cirank-experiments -fig all
+//	cirank-experiments -fig 8,9 -scale 2 -queries 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cirank/internal/experiments"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "all", "comma-separated figure numbers (6-12) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		queries = flag.Int("queries", 20, "queries per workload")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		k       = flag.Int("k", 5, "top-k for timing runs")
+		diam    = flag.Int("diameter", 4, "answer diameter limit for effectiveness runs")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.QueryCount = *queries
+	cfg.Seed = *seed
+	cfg.K = *k
+	cfg.Diameter = *diam
+
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"6", "7", "8", "9", "10", "11", "12", "classes"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	needBundles := want["6"] || want["7"] || want["8"] || want["9"] || want["11"] || want["12"] || want["classes"]
+	var imdb, dblp *experiments.Bundle
+	var err error
+	if needBundles {
+		fmt.Fprintf(os.Stderr, "preparing datasets (scale %.2g, seed %d)...\n", cfg.Scale, cfg.Seed)
+		if imdb, err = experiments.PrepareIMDB(cfg.Scale, cfg.Seed); err != nil {
+			fail(err)
+		}
+		if dblp, err = experiments.PrepareDBLP(cfg.Scale, cfg.Seed); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "IMDB: %d nodes, %d edges; DBLP: %d nodes, %d edges\n",
+			imdb.Built.G.NumNodes(), imdb.Built.G.NumEdges(),
+			dblp.Built.G.NumNodes(), dblp.Built.G.NumEdges())
+	}
+
+	type figJob struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	jobs := []figJob{
+		{"6", func() (*experiments.Table, error) { return experiments.Fig6AlphaSweep(imdb, dblp, cfg) }},
+		{"7", func() (*experiments.Table, error) { return experiments.Fig7GroupSweep(imdb, dblp, cfg) }},
+		{"8", func() (*experiments.Table, error) { return experiments.Fig8MRRComparison(imdb, dblp, cfg) }},
+		{"9", func() (*experiments.Table, error) { return experiments.Fig9PrecisionComparison(imdb, dblp, cfg) }},
+		{"10", func() (*experiments.Table, error) { return experiments.Fig10NaiveVsBB(cfg) }},
+		{"11", func() (*experiments.Table, error) { return experiments.Fig11IMDBIndexTime(imdb, cfg) }},
+		{"12", func() (*experiments.Table, error) { return experiments.Fig12DBLPIndexTime(dblp, cfg) }},
+		{"classes", func() (*experiments.Table, error) { return experiments.ClassBreakdown(dblp, cfg) }},
+	}
+	ran := 0
+	for _, j := range jobs {
+		if !want[j.id] {
+			continue
+		}
+		tab, err := j.run()
+		if err != nil {
+			fail(fmt.Errorf("figure %s: %w", j.id, err))
+		}
+		fmt.Println(tab)
+		ran++
+	}
+	if ran == 0 {
+		fail(fmt.Errorf("no figures selected by -fig=%q (valid: 6-12, classes)", *figs))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cirank-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Bibliography: a larger DBLP-style scenario using the synthetic dataset
+// generator end to end: generate a citation network, pick a query from the
+// generated workload (with its planted ground truth), and show that CI-Rank
+// recovers the intended answer — the most-cited paper joining the queried
+// authors — at rank 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cirank"
+	"cirank/internal/datagen"
+	"cirank/internal/graph"
+)
+
+func main() {
+	// Generate a synthetic bibliography: ~1000 papers, 300 authors,
+	// preferential-attachment citations (heavy-tailed citation counts).
+	ds, err := datagen.GenerateDBLP(datagen.DefaultDBLPConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load it into the public engine via the builder.
+	b := cirank.NewDBLPBuilder()
+	for _, table := range []string{"Conference", "Paper", "Author"} {
+		for _, key := range ds.DB.Keys(table) {
+			tuple, _ := ds.DB.Lookup(table, key)
+			b.MustInsert(table, key, tuple.Text)
+		}
+	}
+	// Relationships are replayed from the generated database through the
+	// same relational layer the generator used.
+	built, err := datagen.Build(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The generator's workload carries the planted gold answers.
+	queries, err := built.GenerateWorkload(datagen.SyntheticConfig(5, 77))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// For the engine itself we rebuild from the dataset: links are not
+	// exposed tuple-by-tuple by the dataset API, so this example uses the
+	// lower-level Built graph for gold bookkeeping and the public builder
+	// for searching. Replay the links via the relational dump:
+	replayLinks(b, built)
+
+	eng, err := b.Build(cirank.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range queries {
+		if q.Class != datagen.NonAdjacentPair {
+			continue
+		}
+		// Show the interesting case: a gold connector that actually has
+		// citations (zero-citation golds are ties among equals).
+		if goldConn := built.G.Node(q.Gold.Root()); ds.Pop(goldConn.Relation, goldConn.Key) < 1 {
+			continue
+		}
+		query := strings.Join(q.Terms, " ")
+		fmt.Printf("\n== %q (intended: the most-cited paper joining the two authors) ==\n", query)
+		results, err := eng.Search(query, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		goldConn := built.G.Node(q.Gold.Root())
+		fmt.Printf("planted gold connector: [%s %s] %q (%d citations)\n",
+			goldConn.Relation, goldConn.Key, goldConn.Text, int(ds.Pop(goldConn.Relation, goldConn.Key)))
+		for i, r := range results {
+			fmt.Printf("#%d (score %.4g)\n", i+1, r.Score)
+			for _, row := range r.Rows {
+				marker := "  "
+				if row.Matched {
+					marker = "* "
+				}
+				cites := ""
+				if row.Table == "Paper" {
+					cites = fmt.Sprintf("  (%d citations)", int(ds.Pop("Paper", row.Key)))
+				}
+				fmt.Printf("  %s[%s %s] %s%s\n", marker, row.Table, row.Key, row.Text, cites)
+			}
+		}
+	}
+}
+
+// replayLinks copies the generated relationship instances into the public
+// builder by walking the graph built from the dataset: every directed edge
+// pair corresponds to one relationship instance.
+func replayLinks(b *cirank.Builder, built *datagen.Built) {
+	g := built.G
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		from := g.Node(id)
+		for _, e := range g.OutEdges(id) {
+			to := g.Node(e.To)
+			// Only take each undirected pair once, in the canonical
+			// relationship direction.
+			switch {
+			case from.Relation == "Paper" && to.Relation == "Author":
+				b.MustRelate("written_by", from.Key, to.Key)
+			case from.Relation == "Paper" && to.Relation == "Conference":
+				b.MustRelate("appears_in", from.Key, to.Key)
+			case from.Relation == "Paper" && to.Relation == "Paper":
+				// Citations: the citing→cited direction carries weight
+				// 0.5, the reverse 0.1; take the heavier direction once.
+				if e.Weight > 0.3 {
+					b.MustRelate("cites", from.Key, to.Key)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a tiny bibliography, run a keyword search, print the
+// ranked joined tuple trees. This is the paper's Fig. 2 scenario: two
+// authors connected by two co-authored papers, one far more cited — CI-Rank
+// ranks the answer through the influential paper first, which IR-style
+// rankers cannot do (the connecting papers match no keyword).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cirank"
+)
+
+func main() {
+	b := cirank.NewDBLPBuilder()
+
+	// Two authors.
+	b.MustInsert("Author", "a1", "Yannis Papakonstantinou")
+	b.MustInsert("Author", "a2", "Jeffrey Ullman")
+
+	// Two co-authored papers; p2 is heavily cited.
+	b.MustInsert("Paper", "p1", "Capability Based Mediation in TSIMMIS")
+	b.MustInsert("Paper", "p2", "The TSIMMIS Project Integration of Heterogeneous Information Sources")
+	for _, p := range []string{"p1", "p2"} {
+		b.MustRelate("written_by", p, "a1")
+		b.MustRelate("written_by", p, "a2")
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("c%d", i)
+		b.MustInsert("Paper", key, fmt.Sprintf("follow up work number %d", i))
+		b.MustRelate("cites", key, "p2") // p2: 8 citations
+	}
+	b.MustInsert("Paper", "c8", "lone citation")
+	b.MustRelate("cites", "c8", "p1") // p1: 1 citation
+
+	eng, err := b.Build(cirank.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results, err := eng.Search("Papakonstantinou Ullman", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("#%d (score %.4g)\n", i+1, r.Score)
+		for _, row := range r.Rows {
+			marker := "  "
+			if row.Matched {
+				marker = "* "
+			}
+			fmt.Printf("  %s[%s %s] %s\n", marker, row.Table, row.Key, row.Text)
+		}
+	}
+	// Output: the answer through p2 (8 citations) ranks above the one
+	// through p1 (1 citation).
+}

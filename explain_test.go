@@ -1,0 +1,76 @@
+package cirank
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplain(t *testing.T) {
+	eng := fig2Engine(t, DefaultConfig())
+	res, err := eng.Search("papakonstantinou ullman", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatal("no results")
+	}
+	ex, err := eng.Explain(res[0], "papakonstantinou ullman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Nodes) != len(res[0].Rows) {
+		t.Fatalf("node details %d != rows %d", len(ex.Nodes), len(res[0].Rows))
+	}
+	// Two matched sources → two directed flows.
+	if len(ex.Flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(ex.Flows))
+	}
+	// The answer score is the mean of the matched nodes' scores.
+	sum, matched := 0.0, 0
+	for i, n := range ex.Nodes {
+		if res[0].Rows[i].Matched {
+			sum += n.Score
+			matched++
+			if n.Generation <= 0 {
+				t.Errorf("matched node %d has zero generation", i)
+			}
+		} else {
+			if n.Score != 0 {
+				t.Errorf("free node %d has score %g", i, n.Score)
+			}
+			if n.Dampening <= 0 || n.Dampening >= 1 {
+				t.Errorf("free node %d dampening %g outside (0,1)", i, n.Dampening)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no matched nodes")
+	}
+	if got := sum / float64(matched); math.Abs(got-ex.Score) > 1e-9 {
+		t.Errorf("mean node score %g != answer score %g", got, ex.Score)
+	}
+	// Every flow is positive and bounded by its source's generation.
+	for _, f := range ex.Flows {
+		if f.Delivered <= 0 {
+			t.Errorf("flow %d→%d delivered %g", f.From, f.To, f.Delivered)
+		}
+		if f.Delivered > ex.Nodes[f.From].Generation+1e-9 {
+			t.Errorf("flow %d→%d exceeds generation", f.From, f.To)
+		}
+	}
+	// The rendering mentions the pieces.
+	out := ex.String()
+	for _, want := range []string{"answer score", "importance=", "flow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainRejectsForeignResult(t *testing.T) {
+	eng := fig2Engine(t, DefaultConfig())
+	if _, err := eng.Explain(Result{Score: 1}, "x"); err == nil {
+		t.Error("foreign result accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module cirank
+
+go 1.22

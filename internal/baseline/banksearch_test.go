@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"testing"
+
+	"cirank/internal/graph"
+	"cirank/internal/textindex"
+)
+
+func TestBanksSearchFindsFig2Answers(t *testing.T) {
+	g, ix := fig2Graph(t)
+	bs := NewBanksSearch(g, ix)
+	res, err := bs.TopK(fig2Terms, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 2 {
+		t.Fatalf("got %d answers, want at least 2 (one per connecting paper)", len(res))
+	}
+	for i, r := range res {
+		if !r.Tree.Contains(0) || !r.Tree.Contains(1) {
+			t.Errorf("answer %d misses an author: %v", i, r.Tree.Nodes())
+		}
+		if i > 0 && r.Score > res[i-1].Score {
+			t.Error("answers not score-ordered")
+		}
+	}
+}
+
+func TestBanksSearchSingleKeyword(t *testing.T) {
+	g, ix := fig2Graph(t)
+	bs := NewBanksSearch(g, ix)
+	res, err := bs.TopK([]string{"ullman"}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no answers")
+	}
+	if res[0].Tree.Size() != 1 || !res[0].Tree.Contains(1) {
+		t.Errorf("top single-keyword answer = %v, want node 1", res[0].Tree.Nodes())
+	}
+}
+
+func TestBanksSearchANDSemantics(t *testing.T) {
+	g, ix := fig2Graph(t)
+	bs := NewBanksSearch(g, ix)
+	res, err := bs.TopK([]string{"ullman", "nosuchword"}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("got %d answers for unmatched keyword", len(res))
+	}
+	if _, err := bs.TopK(nil, 3, 4); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := bs.TopK([]string{"x"}, 0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestBanksSearchRespectsDepth(t *testing.T) {
+	// Chain: kw1(0) - a(1) - b(2) - c(3) - kw2(4): connecting requires
+	// backward paths of 2 hops from each side; maxDepth 1 finds nothing.
+	b := graph.NewBuilder(5)
+	texts := []string{"alpha", "x", "y", "z", "beta"}
+	for _, s := range texts {
+		b.AddNode(graph.Node{Relation: "R", Text: s, Words: 1})
+	}
+	for i := 0; i+1 < 5; i++ {
+		b.AddBiEdge(graph.NodeID(i), graph.NodeID(i+1), 1, 1)
+	}
+	g := b.Build()
+	ix := textindex.Build(g)
+	bs := NewBanksSearch(g, ix)
+	res, err := bs.TopK([]string{"alpha", "beta"}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("depth-1 search found %d answers across a 4-hop chain", len(res))
+	}
+	res, err = bs.TopK([]string{"alpha", "beta"}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("depth-4 search found nothing")
+	}
+	if res[0].Tree.Size() != 5 {
+		t.Errorf("answer size = %d, want the full chain", res[0].Tree.Size())
+	}
+}
+
+func TestBanksSearchPrefersCheapEdges(t *testing.T) {
+	// kw1(0) and kw2(1) joined by a strong connector (2) and a weak one
+	// (3): backward expansion reaches through the cheap (high-weight) edges
+	// first, and the edge score ranks that answer higher.
+	b := graph.NewBuilder(4)
+	texts := []string{"alpha", "beta", "strong", "weak"}
+	for _, s := range texts {
+		b.AddNode(graph.Node{Relation: "R", Text: s, Words: 1})
+	}
+	b.AddBiEdge(0, 2, 4, 4)
+	b.AddBiEdge(1, 2, 4, 4)
+	b.AddBiEdge(0, 3, 0.25, 0.25)
+	b.AddBiEdge(1, 3, 0.25, 0.25)
+	g := b.Build()
+	ix := textindex.Build(g)
+	bs := NewBanksSearch(g, ix)
+	res, err := bs.TopK([]string{"alpha", "beta"}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 2 {
+		t.Fatalf("got %d answers", len(res))
+	}
+	if !res[0].Tree.Contains(2) {
+		t.Errorf("top answer does not use the strong connector: %v", res[0].Tree.Nodes())
+	}
+}

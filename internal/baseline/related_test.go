@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"testing"
+
+	"cirank/internal/graph"
+	"cirank/internal/textindex"
+)
+
+func TestBidirectionalFindsFig2Answers(t *testing.T) {
+	g, ix := fig2Graph(t)
+	bd := NewBidirectional(g, ix)
+	res, err := bd.TopK(fig2Terms, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 2 {
+		t.Fatalf("got %d answers, want at least 2", len(res))
+	}
+	for i, r := range res {
+		if !r.Tree.Contains(0) || !r.Tree.Contains(1) {
+			t.Errorf("answer %d misses an author: %v", i, r.Tree.Nodes())
+		}
+		if i > 0 && r.Score > res[i-1].Score {
+			t.Error("answers not score-ordered")
+		}
+	}
+}
+
+func TestBidirectionalValidation(t *testing.T) {
+	g, ix := fig2Graph(t)
+	bd := NewBidirectional(g, ix)
+	if _, err := bd.TopK(nil, 3, 4); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := bd.TopK([]string{"x"}, 0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+	res, err := bd.TopK([]string{"ullman", "nosuchword"}, 3, 4)
+	if err != nil || len(res) != 0 {
+		t.Errorf("AND semantics: res=%v err=%v", res, err)
+	}
+}
+
+func TestBidirectionalActivationPrioritizesHubs(t *testing.T) {
+	// Two routes between the keyword nodes: through a hub with strong
+	// edges and through a weak connector. The hub route should be explored
+	// (and returned) first.
+	b := graph.NewBuilder(4)
+	texts := []string{"alpha", "beta", "hub", "backwater"}
+	for _, s := range texts {
+		b.AddNode(graph.Node{Relation: "R", Text: s, Words: 1})
+	}
+	b.AddBiEdge(0, 2, 3, 3)
+	b.AddBiEdge(1, 2, 3, 3)
+	b.AddBiEdge(0, 3, 0.2, 0.2)
+	b.AddBiEdge(1, 3, 0.2, 0.2)
+	g := b.Build()
+	ix := textindex.Build(g)
+	bd := NewBidirectional(g, ix)
+	res, err := bd.TopK([]string{"alpha", "beta"}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || !res[0].Tree.Contains(2) {
+		t.Errorf("top answer does not use the hub: %+v", res)
+	}
+}
+
+func TestObjectRankBasics(t *testing.T) {
+	g, ix := fig2Graph(t)
+	or := NewObjectRank(g, ix)
+	res, err := or.Rank([]string{"papakonstantinou", "ullman"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no ranked objects")
+	}
+	// The two authors and the connecting papers should carry the highest
+	// combined authority; crucially the output is NODES, not trees — the
+	// limitation the paper discusses.
+	top := map[graph.NodeID]bool{}
+	for _, ns := range res {
+		top[ns.Node] = true
+	}
+	if !top[0] && !top[1] && !top[2] && !top[3] {
+		t.Errorf("none of the expected nodes in top-4: %+v", res)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Error("objects not score-ordered")
+		}
+	}
+}
+
+func TestObjectRankProximityToBaseSet(t *testing.T) {
+	// Chain: kw(0) - a(1) - b(2) - c(3): authority decays with distance
+	// from the base set.
+	b := graph.NewBuilder(4)
+	texts := []string{"alpha", "x", "y", "z"}
+	for _, s := range texts {
+		b.AddNode(graph.Node{Relation: "R", Text: s, Words: 1})
+	}
+	for i := 0; i+1 < 4; i++ {
+		b.AddBiEdge(graph.NodeID(i), graph.NodeID(i+1), 1, 1)
+	}
+	g := b.Build()
+	or := NewObjectRank(g, textindex.Build(g))
+	or.GlobalWeight = 0 // pure keyword-specific authority
+	res, err := or.Rank([]string{"alpha"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[graph.NodeID]int{}
+	for i, ns := range res {
+		pos[ns.Node] = i
+	}
+	// The base node and its neighbour trade places (a chain endpoint pours
+	// all its mass into its single neighbour), but authority must decay
+	// beyond them: {0,1} above 2 above 3.
+	if pos[0] > 1 || pos[1] > 1 {
+		t.Errorf("base region not on top: %+v", res)
+	}
+	if pos[2] != 2 || pos[3] != 3 {
+		t.Errorf("authority does not decay with distance: %+v", res)
+	}
+}
+
+func TestObjectRankValidation(t *testing.T) {
+	g, ix := fig2Graph(t)
+	or := NewObjectRank(g, ix)
+	if _, err := or.Rank(nil, 3); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := or.Rank([]string{"x"}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	res, err := or.Rank([]string{"nosuchword"}, 3)
+	if err != nil || len(res) != 0 {
+		t.Errorf("unmatched keyword: res=%v err=%v", res, err)
+	}
+}

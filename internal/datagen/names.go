@@ -1,0 +1,168 @@
+// Package datagen generates the synthetic IMDB-like and DBLP-like datasets
+// and query workloads that substitute for the paper's real data (§VI-A).
+// See DESIGN.md §3 for the substitution rationale: the ranking phenomena the
+// paper measures depend on degree skew (Zipf-distributed citations and movie
+// popularity), shared-name ambiguity, and the importance of connector nodes
+// — all of which are planted here — rather than on the identity of the real
+// movies and papers.
+//
+// All generation is deterministic given the configured seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Pronounceable synthetic words are built from syllables, giving a large,
+// collision-controlled vocabulary that tokenizes cleanly.
+var (
+	onsets = []string{"b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "qu", "r", "s", "sh", "st", "t", "tr", "v", "w", "y", "z"}
+	vowels = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	codas  = []string{"", "n", "r", "s", "l", "m", "t", "ck", "nd", "x"}
+)
+
+// syllable emits one random syllable.
+func syllable(rng *rand.Rand) string {
+	return onsets[rng.Intn(len(onsets))] + vowels[rng.Intn(len(vowels))] + codas[rng.Intn(len(codas))]
+}
+
+// word emits a word of n syllables.
+func word(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(syllable(rng))
+	}
+	return sb.String()
+}
+
+// vocab generates a pool of distinct words.
+func vocab(rng *rand.Rand, size, syllables int) []string {
+	seen := make(map[string]bool, size)
+	out := make([]string, 0, size)
+	for len(out) < size {
+		w := word(rng, syllables)
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// zipfWeights returns weights w_i ∝ 1/(i+1)^s for i in [0, n).
+func zipfWeights(n int, s float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return out
+}
+
+// weightedPicker samples indices proportionally to the given weights.
+type weightedPicker struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+func newWeightedPicker(rng *rand.Rand, weights []float64) *weightedPicker {
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	return &weightedPicker{cum: cum, rng: rng}
+}
+
+func (p *weightedPicker) pick() int {
+	x := p.rng.Float64() * p.cum[len(p.cum)-1]
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// nameGen deals person names with Zipf-shared name words, reproducing the
+// real-world ambiguity ("wilson", "cruz") that drives the paper's Fig. 4
+// free-node-domination example. First and last names draw from one shared
+// pool — as in reality, where "Wilson" is somebody's first name and somebody
+// else's last name — which is what makes cross-interpretation queries
+// (single person "wilson cruz" vs the pair Owen Wilson + Penélope Cruz)
+// possible.
+type nameGen struct {
+	pool   []string
+	lastPk *weightedPicker
+	rng    *rand.Rand
+	used   map[string]bool
+}
+
+func newNameGen(rng *rand.Rand, firstPool, lastPool int, lastSkew float64) *nameGen {
+	size := firstPool
+	if lastPool > size {
+		size = lastPool
+	}
+	return &nameGen{
+		pool:   vocab(rng, size, 2),
+		lastPk: newWeightedPicker(rng, zipfWeights(size, lastSkew)),
+		rng:    rng,
+		used:   make(map[string]bool),
+	}
+}
+
+// next returns a fresh full name (first last). Name words repeat Zipf-ly
+// across persons and positions; full names are unique.
+func (n *nameGen) next() string {
+	for {
+		name := n.pool[n.lastPk.pick()] + " " + n.pool[n.lastPk.pick()]
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}
+
+// titleGen deals titles of 2–4 Zipf-weighted topic words plus a unique
+// discriminator word, so every title has at least one low-ambiguity token
+// for workload construction while common words stay ambiguous.
+type titleGen struct {
+	words  []string
+	pk     *weightedPicker
+	unique []string
+	next   int
+	rng    *rand.Rand
+}
+
+func newTitleGen(rng *rand.Rand, poolSize int, skew float64, uniqueCount int) *titleGen {
+	return &titleGen{
+		words:  vocab(rng, poolSize, 2),
+		pk:     newWeightedPicker(rng, zipfWeights(poolSize, skew)),
+		unique: vocab(rng, uniqueCount, 3),
+		rng:    rng,
+	}
+}
+
+func (t *titleGen) title() string {
+	n := 2 + t.rng.Intn(3)
+	parts := make([]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		parts = append(parts, t.words[t.pk.pick()])
+	}
+	if t.next < len(t.unique) {
+		parts = append(parts, t.unique[t.next])
+		t.next++
+	} else {
+		// Exhausted discriminators: synthesize one more.
+		parts = append(parts, fmt.Sprintf("%s%d", word(t.rng, 3), t.next))
+		t.next++
+	}
+	return strings.Join(parts, " ")
+}

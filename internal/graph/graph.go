@@ -1,0 +1,200 @@
+// Package graph implements the weighted directed data graph that CI-Rank
+// operates on. Following §II-A of the paper, a database is modeled as a graph
+// G = (V, E): every tuple becomes a node, and every foreign-key reference
+// from tuple t_i to tuple t_j becomes a pair of directed edges ⟨v_i, v_j⟩ and
+// ⟨v_j, v_i⟩, generally with different weights (readers of a citing paper are
+// more likely to follow the citation forward than backward).
+//
+// The graph is immutable after construction via Builder, which lets the
+// adjacency lists be stored as contiguous sorted slices — compact and cheap
+// to binary-search, which matters because the search algorithms in
+// internal/search probe edges heavily.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense: a graph with n nodes
+// uses IDs 0..n-1.
+type NodeID int32
+
+// InvalidNode is returned by lookups that find no node.
+const InvalidNode NodeID = -1
+
+// Node carries the tuple-level information the ranking models need: which
+// relation the tuple belongs to (for IR statistics and star-table logic),
+// its text content (for keyword matching), and its word count |v| (the
+// denominator of the RWMP message-generation formula).
+type Node struct {
+	// Relation is the name of the table this tuple belongs to.
+	Relation string
+	// Key is the tuple's primary key rendered as a string; used for
+	// display and for joining results back to the relational store.
+	Key string
+	// Text is the concatenation of the tuple's text attributes.
+	Text string
+	// Words is the number of tokens in Text, i.e. |v| in the paper's
+	// message-generation formula r_ii = t·p_i·|v_i∩Q|/|v_i|.
+	Words int
+}
+
+// HalfEdge is one directed edge as seen from its source node.
+type HalfEdge struct {
+	To     NodeID
+	Weight float64
+}
+
+// Graph is an immutable weighted directed graph. Construct one with Builder.
+type Graph struct {
+	nodes []Node
+	// out[i] holds the outgoing edges of node i, sorted by destination.
+	// offsets/flat is a CSR layout: out edges of node i are
+	// flat[offsets[i]:offsets[i+1]].
+	offsets []int32
+	flat    []HalfEdge
+	// outSum[i] caches the total outgoing weight of node i, used both for
+	// random-walk normalization and for RWMP split denominators.
+	outSum []float64
+}
+
+// NumNodes reports the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of directed edges in the graph.
+func (g *Graph) NumEdges() int { return len(g.flat) }
+
+// Node returns the node record for id. It panics if id is out of range,
+// matching slice semantics; callers hold IDs produced by this graph.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+
+// OutEdges returns the outgoing edges of id, sorted by destination. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) OutEdges(id NodeID) []HalfEdge {
+	return g.flat[g.offsets[id]:g.offsets[id+1]]
+}
+
+// OutDegree reports the number of outgoing edges of id.
+func (g *Graph) OutDegree(id NodeID) int {
+	return int(g.offsets[id+1] - g.offsets[id])
+}
+
+// OutWeightSum reports the total weight of the outgoing edges of id.
+func (g *Graph) OutWeightSum(id NodeID) float64 { return g.outSum[id] }
+
+// Weight returns the weight of the directed edge from → to, and whether the
+// edge exists.
+func (g *Graph) Weight(from, to NodeID) (float64, bool) {
+	edges := g.OutEdges(from)
+	i := sort.Search(len(edges), func(i int) bool { return edges[i].To >= to })
+	if i < len(edges) && edges[i].To == to {
+		return edges[i].Weight, true
+	}
+	return 0, false
+}
+
+// HasEdge reports whether the directed edge from → to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	_, ok := g.Weight(from, to)
+	return ok
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Builders are not safe for concurrent use.
+type Builder struct {
+	nodes []Node
+	adj   []map[NodeID]float64
+}
+
+// NewBuilder returns an empty Builder. If sizeHint > 0 it preallocates for
+// that many nodes.
+func NewBuilder(sizeHint int) *Builder {
+	b := &Builder{}
+	if sizeHint > 0 {
+		b.nodes = make([]Node, 0, sizeHint)
+		b.adj = make([]map[NodeID]float64, 0, sizeHint)
+	}
+	return b
+}
+
+// AddNode appends a node and returns its ID.
+func (b *Builder) AddNode(n Node) NodeID {
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	b.adj = append(b.adj, nil)
+	return id
+}
+
+// NumNodes reports how many nodes have been added so far.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// Node returns a mutable reference to a node already added, letting callers
+// (e.g. the relational builder's entity-merging pass) amend text or word
+// counts before Build.
+func (b *Builder) Node(id NodeID) *Node { return &b.nodes[id] }
+
+// AddEdge adds the directed edge from → to with the given weight. Adding an
+// edge that already exists overwrites its weight; this makes the
+// entity-merging pass idempotent. It panics if either endpoint does not
+// exist or the weight is not positive.
+func (b *Builder) AddEdge(from, to NodeID, weight float64) {
+	if int(from) >= len(b.nodes) || int(to) >= len(b.nodes) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with %d nodes", from, to, len(b.nodes)))
+	}
+	if weight <= 0 {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with non-positive weight %g", from, to, weight))
+	}
+	if from == to {
+		// Self-loops carry no information for either the random walk
+		// or message passing; drop them.
+		return
+	}
+	if b.adj[from] == nil {
+		b.adj[from] = make(map[NodeID]float64, 4)
+	}
+	b.adj[from][to] = weight
+}
+
+// AddBiEdge adds both directed edges between a and b with per-direction
+// weights, the paper's modeling of a foreign-key relationship.
+func (b *Builder) AddBiEdge(a, c NodeID, weightAC, weightCA float64) {
+	b.AddEdge(a, c, weightAC)
+	b.AddEdge(c, a, weightCA)
+}
+
+// Build freezes the builder into an immutable Graph. The builder must not be
+// used afterwards.
+func (b *Builder) Build() *Graph {
+	n := len(b.nodes)
+	g := &Graph{
+		nodes:   b.nodes,
+		offsets: make([]int32, n+1),
+		outSum:  make([]float64, n),
+	}
+	total := 0
+	for i := range b.adj {
+		total += len(b.adj[i])
+	}
+	g.flat = make([]HalfEdge, 0, total)
+	for i := 0; i < n; i++ {
+		g.offsets[i] = int32(len(g.flat))
+		edges := b.adj[i]
+		if len(edges) == 0 {
+			continue
+		}
+		start := len(g.flat)
+		sum := 0.0
+		for to, w := range edges {
+			g.flat = append(g.flat, HalfEdge{To: to, Weight: w})
+			sum += w
+		}
+		part := g.flat[start:]
+		sort.Slice(part, func(x, y int) bool { return part[x].To < part[y].To })
+		g.outSum[i] = sum
+	}
+	g.offsets[n] = int32(len(g.flat))
+	b.nodes = nil
+	b.adj = nil
+	return g
+}

@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildLine(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddNode(Node{Relation: "R", Key: "k", Text: "t", Words: 1})
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddBiEdge(NodeID(i), NodeID(i+1), 1.0, 0.5)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildLine(t, 4)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d, want 6", g.NumEdges())
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 1.0 {
+		t.Errorf("Weight(0,1) = %v, %v; want 1.0, true", w, ok)
+	}
+	if w, ok := g.Weight(1, 0); !ok || w != 0.5 {
+		t.Errorf("Weight(1,0) = %v, %v; want 0.5, true", w, ok)
+	}
+	if _, ok := g.Weight(0, 3); ok {
+		t.Error("Weight(0,3) exists, want absent")
+	}
+	if d := g.OutDegree(1); d != 2 {
+		t.Errorf("OutDegree(1) = %d, want 2", d)
+	}
+	if s := g.OutWeightSum(1); s != 1.5 {
+		t.Errorf("OutWeightSum(1) = %g, want 1.5", s)
+	}
+}
+
+func TestAddEdgeOverwrites(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddNode(Node{})
+	b.AddNode(Node{})
+	b.AddEdge(0, 1, 1.0)
+	b.AddEdge(0, 1, 2.0)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (overwrite)", g.NumEdges())
+	}
+	if w, _ := g.Weight(0, 1); w != 2.0 {
+		t.Errorf("Weight(0,1) = %g, want 2.0", w)
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddNode(Node{})
+	b.AddEdge(0, 0, 1.0)
+	if g := b.Build(); g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0 (self-loop dropped)", g.NumEdges())
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	for name, f := range map[string]func(*Builder){
+		"out of range": func(b *Builder) { b.AddEdge(0, 5, 1) },
+		"zero weight":  func(b *Builder) { b.AddEdge(0, 1, 0) },
+		"neg weight":   func(b *Builder) { b.AddEdge(0, 1, -1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			b := NewBuilder(2)
+			b.AddNode(Node{})
+			b.AddNode(Node{})
+			f(b)
+		})
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := buildLine(t, 6)
+	dist := g.BFSDistances(0, 3)
+	want := map[NodeID]int{0: 0, 1: 1, 2: 2, 3: 3}
+	if len(dist) != len(want) {
+		t.Fatalf("got %d nodes, want %d: %v", len(dist), len(want), dist)
+	}
+	for id, d := range want {
+		if dist[id] != d {
+			t.Errorf("dist[%d] = %d, want %d", id, dist[id], d)
+		}
+	}
+}
+
+func TestBFSAllShortestPathsDiamond(t *testing.T) {
+	// 0 → {1, 2} → 3: node 3 has two shortest-path predecessors.
+	b := NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddNode(Node{})
+	}
+	b.AddBiEdge(0, 1, 1, 1)
+	b.AddBiEdge(0, 2, 1, 1)
+	b.AddBiEdge(1, 3, 1, 1)
+	b.AddBiEdge(2, 3, 1, 1)
+	g := b.Build()
+	tr := g.BFSAllShortestPaths(0, 5)
+	if tr.Dist[3] != 2 {
+		t.Fatalf("Dist[3] = %d, want 2", tr.Dist[3])
+	}
+	if len(tr.Preds[3]) != 2 {
+		t.Fatalf("Preds[3] = %v, want two predecessors", tr.Preds[3])
+	}
+}
+
+func TestDijkstraHopCounts(t *testing.T) {
+	g := buildLine(t, 5)
+	dist := g.Dijkstra(0, -1, func(NodeID, HalfEdge) float64 { return 1 })
+	for i := 0; i < 5; i++ {
+		if dist[NodeID(i)] != float64(i) {
+			t.Errorf("dist[%d] = %g, want %d", i, dist[NodeID(i)], i)
+		}
+	}
+}
+
+func TestDijkstraMaxCost(t *testing.T) {
+	g := buildLine(t, 10)
+	dist := g.Dijkstra(0, 3, func(NodeID, HalfEdge) float64 { return 1 })
+	if len(dist) != 4 {
+		t.Fatalf("got %d nodes within cost 3, want 4", len(dist))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddNode(Node{})
+	}
+	b.AddBiEdge(0, 1, 1, 1)
+	b.AddBiEdge(3, 4, 1, 1)
+	g := b.Build()
+	labels, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("numComponents = %d, want 3", n)
+	}
+	if labels[0] != labels[1] || labels[3] != labels[4] || labels[0] == labels[2] || labels[0] == labels[3] {
+		t.Errorf("unexpected labels %v", labels)
+	}
+}
+
+func TestWeightTables(t *testing.T) {
+	imdb := DefaultIMDBWeights()
+	if w := imdb.Weight(RelActor, RelMovie, 0); w != 1.0 {
+		t.Errorf("Actor→Movie = %g, want 1.0", w)
+	}
+	if w := imdb.Weight(RelMovie, RelProducer, 0); w != 0.5 {
+		t.Errorf("Movie→Producer = %g, want 0.5", w)
+	}
+	dblp := DefaultDBLPWeights()
+	if w := dblp.Weight(RelCitingPaper, RelCitedPaper, 0); w != 0.5 {
+		t.Errorf("citing→cited = %g, want 0.5", w)
+	}
+	if w := dblp.Weight(RelCitedPaper, RelCitingPaper, 0); w != 0.1 {
+		t.Errorf("cited→citing = %g, want 0.1", w)
+	}
+	if w := dblp.Weight("X", "Y", 0.7); w != 0.7 {
+		t.Errorf("default weight = %g, want 0.7", w)
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddNode(Node{Relation: "R", Words: 1})
+	}
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.AddBiEdge(u, v, rng.Float64()+0.1, rng.Float64()+0.1)
+	}
+	return b.Build()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Logf("WriteTo: %v", err)
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Logf("Read: %v", err)
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			e1, e2 := g.OutEdges(NodeID(v)), g2.OutEdges(NodeID(v))
+			if len(e1) != len(e2) {
+				return false
+			}
+			for i := range e1 {
+				if e1[i] != e2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Error("Read accepted bad magic")
+	}
+	var buf bytes.Buffer
+	g := buildLine(t, 3)
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("Read accepted truncated stream")
+	}
+}
+
+func TestBFSVisitEarlyStop(t *testing.T) {
+	g := buildLine(t, 10)
+	count := 0
+	g.BFSVisit(0, 10, func(NodeID, int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("visited %d nodes, want 3 (early stop)", count)
+	}
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary graph format is a simple length-prefixed layout:
+//
+//	magic "CIRG" | version u32 | numNodes u64
+//	per node: relation, key, text (each u32-length-prefixed UTF-8), words u32
+//	numEdges u64
+//	per edge: from u32 | to u32 | weight f64
+//
+// It exists so that cmd/cirank-datagen can generate a dataset once and the
+// other tools can reload it without regenerating.
+
+const (
+	graphMagic   = "CIRG"
+	graphVersion = 1
+)
+
+// WriteTo serializes the graph. It implements io.WriterTo.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write([]byte(graphMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, graphVersion); err != nil {
+		return cw.n, err
+	}
+	if err := writeU64(cw, uint64(g.NumNodes())); err != nil {
+		return cw.n, err
+	}
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if err := writeString(cw, n.Relation); err != nil {
+			return cw.n, err
+		}
+		if err := writeString(cw, n.Key); err != nil {
+			return cw.n, err
+		}
+		if err := writeString(cw, n.Text); err != nil {
+			return cw.n, err
+		}
+		if err := writeU32(cw, uint32(n.Words)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeU64(cw, uint64(g.NumEdges())); err != nil {
+		return cw.n, err
+	}
+	for from := 0; from < g.NumNodes(); from++ {
+		for _, e := range g.OutEdges(NodeID(from)) {
+			if err := writeU32(cw, uint32(from)); err != nil {
+				return cw.n, err
+			}
+			if err := writeU32(cw, uint32(e.To)); err != nil {
+				return cw.n, err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, e.Weight); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// Read deserializes a graph previously written with WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != graphMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading version: %w", err)
+	}
+	if version != graphVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	numNodes, err := readU64(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading node count: %w", err)
+	}
+	b := NewBuilder(int(numNodes))
+	for i := uint64(0); i < numNodes; i++ {
+		var n Node
+		if n.Relation, err = readString(br); err != nil {
+			return nil, fmt.Errorf("graph: node %d relation: %w", i, err)
+		}
+		if n.Key, err = readString(br); err != nil {
+			return nil, fmt.Errorf("graph: node %d key: %w", i, err)
+		}
+		if n.Text, err = readString(br); err != nil {
+			return nil, fmt.Errorf("graph: node %d text: %w", i, err)
+		}
+		words, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node %d words: %w", i, err)
+		}
+		n.Words = int(words)
+		b.AddNode(n)
+	}
+	numEdges, err := readU64(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading edge count: %w", err)
+	}
+	for i := uint64(0); i < numEdges; i++ {
+		from, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d from: %w", i, err)
+		}
+		to, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d to: %w", i, err)
+		}
+		var w float64
+		if err := binary.Read(br, binary.LittleEndian, &w); err != nil {
+			return nil, fmt.Errorf("graph: edge %d weight: %w", i, err)
+		}
+		if uint64(from) >= numNodes || uint64(to) >= numNodes {
+			return nil, fmt.Errorf("graph: edge %d endpoints (%d, %d) out of range", i, from, to)
+		}
+		b.AddEdge(NodeID(from), NodeID(to), w)
+	}
+	return b.Build(), nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+const maxStringLen = 1 << 24 // 16 MiB guards against corrupt length prefixes
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("graph: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,80 @@
+package graph
+
+// RelPair identifies a directed edge type at the schema level: an edge from
+// a tuple of relation From to a tuple of relation To.
+type RelPair struct {
+	From, To string
+}
+
+// WeightTable assigns a weight to each directed edge type. It reproduces
+// Table II of the paper: weights are chosen per schema-level edge type and
+// are normalized per node only where the random walk requires it (the
+// message-passing split fractions are scale-invariant, so raw weights are
+// used there).
+type WeightTable map[RelPair]float64
+
+// Weight returns the configured weight for the edge type, or def if the pair
+// is not configured.
+func (t WeightTable) Weight(from, to string, def float64) float64 {
+	if w, ok := t[RelPair{from, to}]; ok {
+		return w
+	}
+	return def
+}
+
+// Relation names shared by the generators, the weight tables and the
+// examples. They mirror the schemas in Fig. 1 of the paper.
+const (
+	RelMovie    = "Movie"
+	RelActor    = "Actor"
+	RelActress  = "Actress"
+	RelDirector = "Director"
+	RelProducer = "Producer"
+	RelCompany  = "Company"
+
+	RelConference = "Conference"
+	RelPaper      = "Paper"
+	RelAuthor     = "Author"
+)
+
+// DefaultIMDBWeights reproduces the IMDB half of Table II.
+func DefaultIMDBWeights() WeightTable {
+	return WeightTable{
+		{RelActor, RelMovie}:    1.0,
+		{RelMovie, RelActor}:    1.0,
+		{RelActress, RelMovie}:  1.0,
+		{RelMovie, RelActress}:  1.0,
+		{RelDirector, RelMovie}: 1.0,
+		{RelMovie, RelDirector}: 1.0,
+		{RelProducer, RelMovie}: 0.5,
+		{RelMovie, RelProducer}: 0.5,
+		{RelCompany, RelMovie}:  0.5,
+		{RelMovie, RelCompany}:  0.5,
+	}
+}
+
+// CitePair is the special edge-type key used for paper-to-paper citation
+// edges, which connect two tuples of the same relation and therefore cannot
+// be distinguished by relation names alone. The relational builder labels
+// the citing → cited direction with from = CitingPaper and the reverse with
+// from = CitedPaper.
+const (
+	RelCitingPaper = "Paper:citing"
+	RelCitedPaper  = "Paper:cited"
+)
+
+// DefaultDBLPWeights reproduces the DBLP half of Table II. Note the
+// asymmetry on citation edges: following a citation forward (citing → cited)
+// has weight 0.5 while the backward direction has weight 0.1, reflecting the
+// paper's observation that readers of a citing paper are likely to read the
+// cited paper but not vice versa.
+func DefaultDBLPWeights() WeightTable {
+	return WeightTable{
+		{RelConference, RelPaper}:       0.5,
+		{RelPaper, RelConference}:       0.5,
+		{RelAuthor, RelPaper}:           1.0,
+		{RelPaper, RelAuthor}:           1.0,
+		{RelCitingPaper, RelCitedPaper}: 0.5,
+		{RelCitedPaper, RelCitingPaper}: 0.1,
+	}
+}

@@ -1,0 +1,37 @@
+package jtt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cirank/internal/graph"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format, labeling nodes through
+// the provided function (e.g. with table, key and text from the data
+// graph). Keyword-matching nodes can be highlighted via isMatched. A nil
+// label function falls back to node IDs.
+func (t *Tree) WriteDOT(w io.Writer, label func(graph.NodeID) string, isMatched func(graph.NodeID) bool) error {
+	if label == nil {
+		label = func(v graph.NodeID) string { return fmt.Sprintf("node %d", v) }
+	}
+	var sb strings.Builder
+	sb.WriteString("graph jtt {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	for _, v := range t.Nodes() {
+		attrs := fmt.Sprintf("label=%q", label(v))
+		if v == t.root {
+			attrs += ", penwidth=2"
+		}
+		if isMatched != nil && isMatched(v) {
+			attrs += ", style=filled, fillcolor=lightyellow"
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", v, attrs)
+	}
+	for _, e := range t.Edges() {
+		fmt.Fprintf(&sb, "  n%d -- n%d;\n", e.Parent, e.Child)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,391 @@
+// Package jtt implements joined tuple trees — the query answers of
+// Definition 3 in the paper. A JTT is a subtree of the data graph that is
+// reduced with respect to the query: its leaves must be keyword-matching
+// (non-free) nodes, and its root must also match a keyword if it has only
+// one child.
+//
+// Trees are small (bounded by the diameter limit D, so typically well under
+// a dozen nodes) and are copied freely by the branch-and-bound search, so
+// the representation favors simplicity: a root plus child→parent pointers.
+package jtt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cirank/internal/graph"
+)
+
+// Tree is a rooted tree over data-graph nodes. The zero value is not usable;
+// construct with NewSingle and extend with Grow and Merge. Trees are
+// immutable: mutating operations return new trees.
+type Tree struct {
+	root   graph.NodeID
+	parent map[graph.NodeID]graph.NodeID // every non-root node → its parent
+}
+
+// NewSingle returns the single-node tree {v}.
+func NewSingle(v graph.NodeID) *Tree {
+	return &Tree{root: v, parent: map[graph.NodeID]graph.NodeID{}}
+}
+
+// Root returns the tree's root node.
+func (t *Tree) Root() graph.NodeID { return t.root }
+
+// Size reports the number of nodes in the tree.
+func (t *Tree) Size() int { return len(t.parent) + 1 }
+
+// Contains reports whether v is a node of the tree.
+func (t *Tree) Contains(v graph.NodeID) bool {
+	if v == t.root {
+		return true
+	}
+	_, ok := t.parent[v]
+	return ok
+}
+
+// Nodes returns the tree's nodes in ascending order.
+func (t *Tree) Nodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, t.Size())
+	out = append(out, t.root)
+	for v := range t.parent {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edge is an undirected tree edge, stored with Child pointing away from the
+// root (Parent is nearer the root).
+type Edge struct {
+	Child, Parent graph.NodeID
+}
+
+// Edges returns the tree's edges in deterministic (child-ascending) order.
+func (t *Tree) Edges() []Edge {
+	out := make([]Edge, 0, len(t.parent))
+	for c, p := range t.parent {
+		out = append(out, Edge{Child: c, Parent: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Child < out[j].Child })
+	return out
+}
+
+// Parent returns v's parent and false for the root.
+func (t *Tree) Parent(v graph.NodeID) (graph.NodeID, bool) {
+	p, ok := t.parent[v]
+	return p, ok
+}
+
+// Children returns the children of v in ascending order.
+func (t *Tree) Children(v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for c, p := range t.parent {
+		if p == v {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns v's tree neighbours (parent and children) in ascending
+// order. This is N(v) ∩ V(T), the set over which RWMP message splits are
+// normalized.
+func (t *Tree) Neighbors(v graph.NodeID) []graph.NodeID {
+	out := t.Children(v)
+	if p, ok := t.parent[v]; ok {
+		out = append(out, p)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// Leaves returns the tree's leaves (nodes without children; the root counts
+// only if it is the sole node) in ascending order.
+func (t *Tree) Leaves() []graph.NodeID {
+	hasChild := make(map[graph.NodeID]bool, len(t.parent))
+	for _, p := range t.parent {
+		hasChild[p] = true
+	}
+	var out []graph.NodeID
+	for _, v := range t.Nodes() {
+		if !hasChild[v] && (v != t.root || t.Size() == 1) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// clone deep-copies the tree.
+func (t *Tree) clone() *Tree {
+	p := make(map[graph.NodeID]graph.NodeID, len(t.parent)+1)
+	for k, v := range t.parent {
+		p[k] = v
+	}
+	return &Tree{root: t.root, parent: p}
+}
+
+// Grow returns a new tree whose root is newRoot and whose single child
+// subtree is t — the tree-growing step of §IV-B. It fails if newRoot is
+// already in t or the data graph lacks an edge between newRoot and t's root.
+func (t *Tree) Grow(g *graph.Graph, newRoot graph.NodeID) (*Tree, error) {
+	if t.Contains(newRoot) {
+		return nil, fmt.Errorf("jtt: grow: node %d already in tree", newRoot)
+	}
+	if !g.HasEdge(newRoot, t.root) && !g.HasEdge(t.root, newRoot) {
+		return nil, fmt.Errorf("jtt: grow: no edge between %d and root %d", newRoot, t.root)
+	}
+	nt := t.clone()
+	nt.parent[t.root] = newRoot
+	nt.root = newRoot
+	return nt, nil
+}
+
+// Attach returns a new tree with child added as a leaf under parent. The
+// caller is responsible for the graph edge's existence (the naive search
+// assembles trees from BFS paths, whose edges are valid by construction).
+func (t *Tree) Attach(child, parent graph.NodeID) (*Tree, error) {
+	if !t.Contains(parent) {
+		return nil, fmt.Errorf("jtt: attach: parent %d not in tree", parent)
+	}
+	if t.Contains(child) {
+		return nil, fmt.Errorf("jtt: attach: child %d already in tree", child)
+	}
+	nt := t.clone()
+	nt.parent[child] = parent
+	return nt, nil
+}
+
+// MustAttach is Attach that panics on error.
+func (t *Tree) MustAttach(child, parent graph.NodeID) *Tree {
+	nt, err := t.Attach(child, parent)
+	if err != nil {
+		panic(err)
+	}
+	return nt
+}
+
+// Merge returns the union of t and other — the tree-merging step of §IV-B.
+// Both trees must share the same root and must not overlap anywhere else
+// (the paper's "sanity check" against cycles).
+func (t *Tree) Merge(other *Tree) (*Tree, error) {
+	if t.root != other.root {
+		return nil, fmt.Errorf("jtt: merge: roots differ (%d vs %d)", t.root, other.root)
+	}
+	nt := t.clone()
+	for c, p := range other.parent {
+		if t.Contains(c) {
+			return nil, fmt.Errorf("jtt: merge: node %d present in both trees", c)
+		}
+		nt.parent[c] = p
+	}
+	return nt, nil
+}
+
+// Path returns the unique tree path from a to b, inclusive of both
+// endpoints. It panics if either node is absent.
+func (t *Tree) Path(a, b graph.NodeID) []graph.NodeID {
+	if !t.Contains(a) || !t.Contains(b) {
+		panic(fmt.Sprintf("jtt: Path(%d, %d) with absent node", a, b))
+	}
+	// Ancestor chains to the root.
+	chainA := t.ancestors(a)
+	onA := make(map[graph.NodeID]int, len(chainA))
+	for i, v := range chainA {
+		onA[v] = i
+	}
+	// Walk b upward until hitting a's chain: that node is the LCA.
+	var up []graph.NodeID
+	cur := b
+	for {
+		if i, ok := onA[cur]; ok {
+			// a..LCA, then back down to b.
+			path := append([]graph.NodeID{}, chainA[:i+1]...)
+			for j := len(up) - 1; j >= 0; j-- {
+				path = append(path, up[j])
+			}
+			return path
+		}
+		up = append(up, cur)
+		p, ok := t.parent[cur]
+		if !ok {
+			panic("jtt: Path: disconnected tree state")
+		}
+		cur = p
+	}
+}
+
+// ancestors returns v, parent(v), …, root.
+func (t *Tree) ancestors(v graph.NodeID) []graph.NodeID {
+	out := []graph.NodeID{v}
+	for {
+		p, ok := t.parent[v]
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+		v = p
+	}
+}
+
+// Depth reports the maximum distance from the root to any node.
+func (t *Tree) Depth() int {
+	max := 0
+	for v := range t.parent {
+		d := len(t.ancestors(v)) - 1
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter reports the longest path length (in edges) between any two nodes.
+func (t *Tree) Diameter() int {
+	if t.Size() == 1 {
+		return 0
+	}
+	// Double-BFS on the tree adjacency.
+	adj := make(map[graph.NodeID][]graph.NodeID, t.Size())
+	for c, p := range t.parent {
+		adj[c] = append(adj[c], p)
+		adj[p] = append(adj[p], c)
+	}
+	far, _ := t.bfsFarthest(adj, t.root)
+	_, d := t.bfsFarthest(adj, far)
+	return d
+}
+
+func (t *Tree) bfsFarthest(adj map[graph.NodeID][]graph.NodeID, start graph.NodeID) (graph.NodeID, int) {
+	dist := map[graph.NodeID]int{start: 0}
+	queue := []graph.NodeID{start}
+	far, fd := start, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[v] {
+			if _, seen := dist[n]; !seen {
+				dist[n] = dist[v] + 1
+				if dist[n] > fd {
+					far, fd = n, dist[n]
+				}
+				queue = append(queue, n)
+			}
+		}
+	}
+	return far, fd
+}
+
+// Reroot returns the same undirected tree rooted at newRoot. It panics if
+// newRoot is not in the tree. BANKS-style scoring depends on which node is
+// the root (§II-B.2), so the baseline re-roots answers the way the original
+// system would have produced them.
+func (t *Tree) Reroot(newRoot graph.NodeID) *Tree {
+	if !t.Contains(newRoot) {
+		panic(fmt.Sprintf("jtt: Reroot(%d): node not in tree", newRoot))
+	}
+	if newRoot == t.root {
+		return t
+	}
+	nt := t.clone()
+	// Reverse the parent pointers along the path from newRoot up to the
+	// old root.
+	chain := nt.ancestors(newRoot)
+	for i := 0; i+1 < len(chain); i++ {
+		nt.parent[chain[i+1]] = chain[i]
+	}
+	delete(nt.parent, newRoot)
+	nt.root = newRoot
+	return nt
+}
+
+// CanonicalKey returns a string identifying the tree by its undirected node
+// and edge sets, independent of rooting. The branch-and-bound search
+// generates the same answer tree under several rootings and orderings; the
+// top-k list dedupes on this key.
+func (t *Tree) CanonicalKey() string {
+	var sb strings.Builder
+	nodes := t.Nodes()
+	for i, v := range nodes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteByte('|')
+	type pair struct{ a, b graph.NodeID }
+	edges := make([]pair, 0, len(t.parent))
+	for c, p := range t.parent {
+		a, b := c, p
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, pair{a, b})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for i, e := range edges {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d-%d", e.a, e.b)
+	}
+	return sb.String()
+}
+
+// IsReduced reports whether the tree is a valid query answer per
+// Definition 3: every leaf matches at least one query keyword, and the root
+// matches one too when it has exactly one child. isNonFree reports keyword
+// membership for a node.
+func (t *Tree) IsReduced(isNonFree func(graph.NodeID) bool) bool {
+	for _, leaf := range t.Leaves() {
+		if !isNonFree(leaf) {
+			return false
+		}
+	}
+	if len(t.Children(t.root)) == 1 && !isNonFree(t.root) {
+		return false
+	}
+	return true
+}
+
+// Reduce returns the minimal reduced tree containing all of the given
+// keeper nodes: free leaves (and free single-child roots) are pruned
+// repeatedly. Returns nil if any keeper is absent from the tree.
+func (t *Tree) Reduce(keep func(graph.NodeID) bool) *Tree {
+	nt := t.clone()
+	for {
+		changed := false
+		for _, leaf := range nt.Leaves() {
+			if nt.Size() == 1 {
+				break
+			}
+			if !keep(leaf) {
+				delete(nt.parent, leaf)
+				changed = true
+			}
+		}
+		// A free root with a single child can be stripped, re-rooting at
+		// the child.
+		for {
+			ch := nt.Children(nt.root)
+			if len(ch) == 1 && !keep(nt.root) {
+				newRoot := ch[0]
+				delete(nt.parent, newRoot)
+				nt.root = newRoot
+				changed = true
+				continue
+			}
+			break
+		}
+		if !changed {
+			return nt
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package pagerank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cirank/internal/graph"
+)
+
+// ComputeParallel runs the power iteration with the gather phase split
+// across workers goroutines (0 = GOMAXPROCS). It produces the same result
+// as Compute up to floating-point reassociation: each worker pulls into a
+// disjoint slice of the next vector, so there are no data races and no
+// atomics.
+//
+// The pull formulation relies on a property every graph built by
+// internal/relational has: each foreign key materializes both edge
+// directions, so a node's in-neighbour set equals its out-neighbour set
+// (with independent weights), and the incoming weight w(j→i) can be looked
+// up on j's out-edge list.
+func ComputeParallel(g *graph.Graph, opts Options, workers int) (*Result, error) {
+	if opts.Teleport <= 0 || opts.Teleport >= 1 {
+		return nil, fmt.Errorf("pagerank: teleport %g outside (0, 1)", opts.Teleport)
+	}
+	if opts.MaxIterations <= 0 {
+		return nil, fmt.Errorf("pagerank: MaxIterations must be positive")
+	}
+	if opts.PersonalizationMix < 0 || opts.PersonalizationMix > 1 {
+		return nil, fmt.Errorf("pagerank: PersonalizationMix %g outside [0, 1]", opts.PersonalizationMix)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{Converged: true}, nil
+	}
+	// Verify the symmetry the pull formulation needs.
+	for v := 0; v < n; v++ {
+		for _, e := range g.OutEdges(graph.NodeID(v)) {
+			if !g.HasEdge(e.To, graph.NodeID(v)) {
+				return nil, fmt.Errorf("pagerank: graph lacks reverse edge %d→%d; ComputeParallel requires symmetric adjacency", e.To, v)
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	u, err := teleportVector(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := opts.Teleport
+	p := make([]float64, n)
+	next := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	res := &Result{}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	deltas := make([]float64, workers)
+	danglings := make([]float64, workers)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// Dangling mass, gathered in parallel.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := w*chunk, (w+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				d := 0.0
+				for v := lo; v < hi; v++ {
+					if g.OutDegree(graph.NodeID(v)) == 0 {
+						d += p[v]
+					}
+				}
+				danglings[w] = d
+			}(w)
+		}
+		wg.Wait()
+		dangling := 0.0
+		for _, d := range danglings {
+			dangling += d
+		}
+		// Pull phase: next[i] = teleport + Σ_j p[j]·w(j→i)/outSum(j),
+		// where j ranges over i's (symmetric) neighbour set.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := w*chunk, (w+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				delta := 0.0
+				for i := lo; i < hi; i++ {
+					acc := (c + (1-c)*dangling) * u[i]
+					for _, e := range g.OutEdges(graph.NodeID(i)) {
+						j := e.To
+						wji, ok := g.Weight(j, graph.NodeID(i))
+						if !ok {
+							continue
+						}
+						sum := g.OutWeightSum(j)
+						if sum <= 0 {
+							continue
+						}
+						acc += (1 - c) * p[j] * wji / sum
+					}
+					next[i] = acc
+					d := next[i] - p[i]
+					if d < 0 {
+						d = -d
+					}
+					delta += d
+				}
+				deltas[w] = delta
+			}(w)
+		}
+		wg.Wait()
+		delta := 0.0
+		for _, d := range deltas {
+			delta += d
+		}
+		p, next = next, p
+		res.Iterations = iter + 1
+		if delta < opts.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = p
+	return res, nil
+}

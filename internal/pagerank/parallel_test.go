@@ -1,0 +1,93 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cirank/internal/graph"
+)
+
+// symRandomGraph builds a random graph with both edge directions present.
+func symRandomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Node{})
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddBiEdge(graph.NodeID(u), graph.NodeID(v), rng.Float64()+0.1, rng.Float64()+0.1)
+		}
+	}
+	return b.Build()
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		g := symRandomGraph(rng, n, 3*n)
+		seq, err := Compute(g, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		par, err := ComputeParallel(g, DefaultOptions(), 4)
+		if err != nil {
+			t.Logf("parallel: %v", err)
+			return false
+		}
+		for i := range seq.Scores {
+			if math.Abs(seq.Scores[i]-par.Scores[i]) > 1e-8 {
+				t.Logf("node %d: seq %g vs par %g", i, seq.Scores[i], par.Scores[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelRejectsAsymmetric(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddNode(graph.Node{})
+	b.AddNode(graph.Node{})
+	b.AddEdge(0, 1, 1) // no reverse edge
+	g := b.Build()
+	if _, err := ComputeParallel(g, DefaultOptions(), 2); err == nil {
+		t.Error("asymmetric graph accepted")
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	g := symRandomGraph(rand.New(rand.NewSource(1)), 5, 8)
+	if _, err := ComputeParallel(g, Options{Teleport: 0, MaxIterations: 5}, 2); err == nil {
+		t.Error("bad teleport accepted")
+	}
+	if _, err := ComputeParallel(g, Options{Teleport: 0.15, MaxIterations: 0}, 2); err == nil {
+		t.Error("bad iterations accepted")
+	}
+	empty := graph.NewBuilder(0).Build()
+	res, err := ComputeParallel(empty, DefaultOptions(), 2)
+	if err != nil || !res.Converged {
+		t.Errorf("empty graph: %+v, %v", res, err)
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	g := symRandomGraph(rand.New(rand.NewSource(2)), 20, 60)
+	res, err := ComputeParallel(g, DefaultOptions(), 0)
+	if err != nil || !res.Converged {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Errorf("scores sum to %g", sum)
+	}
+}

@@ -1,0 +1,178 @@
+package pathindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cirank/internal/graph"
+)
+
+// Binary serialization for the star index, so engines can be snapshotted
+// and reloaded without recomputing the offline §V tables.
+//
+//	magic "CISX" | version u32 | maxDepth u32 | numNodes u64 | numStar u64
+//	per node: isStar u8
+//	damp: numNodes f64
+//	dist: numStar² u8
+//	ret:  numStar² f64
+//	far:  f64
+
+const (
+	starMagic   = "CISX"
+	starVersion = 1
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *StarIndex) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(m int, err error) error {
+		n += int64(m)
+		return err
+	}
+	if err := count(bw.WriteString(starMagic)); err != nil {
+		return n, err
+	}
+	hdr := make([]byte, 4+4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], starVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ix.maxDepth))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(ix.isStar)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(ix.numStar))
+	if err := count(bw.Write(hdr)); err != nil {
+		return n, err
+	}
+	flags := make([]byte, len(ix.isStar))
+	for i, s := range ix.isStar {
+		if s {
+			flags[i] = 1
+		}
+	}
+	if err := count(bw.Write(flags)); err != nil {
+		return n, err
+	}
+	if err := writeF64s(bw, ix.damp, &n); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write(ix.dist)); err != nil {
+		return n, err
+	}
+	if err := writeF64s(bw, ix.ret, &n); err != nil {
+		return n, err
+	}
+	var far [8]byte
+	binary.LittleEndian.PutUint64(far[:], math.Float64bits(ix.far))
+	if err := count(bw.Write(far[:])); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadStar deserializes a star index previously written with WriteTo. The
+// graph must be the same one the index was built over (the adjacency is
+// needed for the non-star lookup cases and is not stored redundantly).
+func ReadStar(r io.Reader, g *graph.Graph) (*StarIndex, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("pathindex: reading magic: %w", err)
+	}
+	if string(magic) != starMagic {
+		return nil, fmt.Errorf("pathindex: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4+4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("pathindex: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != starVersion {
+		return nil, fmt.Errorf("pathindex: unsupported version %d", v)
+	}
+	maxDepth := int(binary.LittleEndian.Uint32(hdr[4:]))
+	numNodes := binary.LittleEndian.Uint64(hdr[8:])
+	numStar := binary.LittleEndian.Uint64(hdr[16:])
+	if int(numNodes) != g.NumNodes() {
+		return nil, fmt.Errorf("pathindex: index built over %d nodes, graph has %d", numNodes, g.NumNodes())
+	}
+	ix := &StarIndex{
+		g:        g,
+		maxDepth: maxDepth,
+		isStar:   make([]bool, numNodes),
+		starIdx:  make([]int32, numNodes),
+		numStar:  int(numStar),
+		damp:     make([]float64, numNodes),
+		dist:     make([]uint8, numStar*numStar),
+		ret:      make([]float64, numStar*numStar),
+	}
+	flags := make([]byte, numNodes)
+	if _, err := io.ReadFull(br, flags); err != nil {
+		return nil, fmt.Errorf("pathindex: reading star flags: %w", err)
+	}
+	next := int32(0)
+	for i, f := range flags {
+		if f != 0 {
+			ix.isStar[i] = true
+			ix.starIdx[i] = next
+			next++
+		} else {
+			ix.starIdx[i] = -1
+		}
+	}
+	if int(next) != ix.numStar {
+		return nil, fmt.Errorf("pathindex: star flag count %d does not match header %d", next, ix.numStar)
+	}
+	if err := readF64s(br, ix.damp); err != nil {
+		return nil, fmt.Errorf("pathindex: reading damp: %w", err)
+	}
+	if _, err := io.ReadFull(br, ix.dist); err != nil {
+		return nil, fmt.Errorf("pathindex: reading dist: %w", err)
+	}
+	if err := readF64s(br, ix.ret); err != nil {
+		return nil, fmt.Errorf("pathindex: reading ret: %w", err)
+	}
+	var far [8]byte
+	if _, err := io.ReadFull(br, far[:]); err != nil {
+		return nil, fmt.Errorf("pathindex: reading far: %w", err)
+	}
+	ix.far = math.Float64frombits(binary.LittleEndian.Uint64(far[:]))
+	return ix, nil
+}
+
+func writeF64s(w io.Writer, vals []float64, n *int64) error {
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(vals); off += 4096 {
+		end := off + 4096
+		if end > len(vals) {
+			end = len(vals)
+		}
+		chunk := buf[:8*(end-off)]
+		for i, v := range vals[off:end] {
+			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(v))
+		}
+		m, err := w.Write(chunk)
+		*n += int64(m)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readF64s(r io.Reader, vals []float64) error {
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(vals); off += 4096 {
+		end := off + 4096
+		if end > len(vals) {
+			end = len(vals)
+		}
+		chunk := buf[:8*(end-off)]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return err
+		}
+		for i := range vals[off:end] {
+			vals[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[8*i:]))
+		}
+	}
+	return nil
+}

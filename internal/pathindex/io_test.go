@@ -1,0 +1,68 @@
+package pathindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cirank/internal/graph"
+)
+
+func TestStarIndexRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, isStar := randomBipartite(rng, 2+rng.Intn(3), 3+rng.Intn(5), 10+rng.Intn(10))
+		damp := randomDamp(rng, g.NumNodes())
+		ix, err := BuildStar(g, damp, isStar, 4)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Logf("WriteTo: %v", err)
+			return false
+		}
+		loaded, err := ReadStar(&buf, g)
+		if err != nil {
+			t.Logf("ReadStar: %v", err)
+			return false
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				a, b := graph.NodeID(u), graph.NodeID(v)
+				if ix.DistanceLB(a, b) != loaded.DistanceLB(a, b) {
+					return false
+				}
+				if ix.RetentionUB(a, b) != loaded.RetentionUB(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadStarRejectsMismatchedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, isStar := randomBipartite(rng, 2, 3, 6)
+	damp := randomDamp(rng, g.NumNodes())
+	ix, err := BuildStar(g, damp, isStar, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := randomBipartite(rng, 3, 4, 8)
+	if _, err := ReadStar(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("index accepted for a different-size graph")
+	}
+	if _, err := ReadStar(bytes.NewReader([]byte("XXXX")), g); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

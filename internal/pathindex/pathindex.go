@@ -1,0 +1,156 @@
+// Package pathindex implements the offline indexes of §V that sharpen the
+// branch-and-bound upper bounds: the shortest distance DS(v_i, v_j) between
+// nodes, and the minimal message loss LS(v_i, v_j) — here expressed as the
+// maximal retention factor a message can keep traveling between the nodes.
+//
+// Two implementations are provided, mirroring the paper:
+//
+//   - NaiveIndex (§V-A) stores both statistics for every node pair. Its
+//     O(|V|²) space limits it to small graphs; it exists as the reference
+//     the star index is validated against.
+//   - StarIndex (§V-B) stores the statistics only between star nodes (the
+//     nodes of the star tables, which form a table-level vertex cover of
+//     the schema). Lookups involving non-star nodes expand through their
+//     star neighbours (cases 2 and 3 of §V-B); because every edge touches a
+//     star table, every path from a non-star node passes through one of its
+//     (all-star) neighbours, so the expansion yields sound bounds.
+//
+// Both indexes are depth-bounded: distances are computed up to MaxDepth
+// hops, beyond which "≥ MaxDepth+1" is returned — still a valid lower
+// bound, which is all pruning needs. Retention bounds count only dampening
+// at intermediate nodes; the tree-dependent split fractions are bounded by
+// one, so the product of dampening rates is a sound upper bound on any
+// in-tree delivery factor.
+package pathindex
+
+import (
+	"fmt"
+
+	"cirank/internal/graph"
+)
+
+// Index answers distance and retention queries with one-sided guarantees.
+type Index interface {
+	// DistanceLB returns a lower bound on the hop distance from u to v.
+	// A graph with both FK directions materialized is symmetric, so the
+	// bound holds in both directions.
+	DistanceLB(u, v graph.NodeID) int
+	// RetentionUB returns an upper bound on the product of dampening
+	// factors over intermediate nodes of any u→v path (1 for adjacent or
+	// identical nodes).
+	RetentionUB(u, v graph.NodeID) float64
+}
+
+// maxUint8Depth is the largest representable depth; distances are stored in
+// a byte to keep the all-pairs tables compact.
+const maxUint8Depth = 250
+
+// boundedStats computes, from one source, the hop distance and maximal
+// retention to every node reachable within maxDepth hops, by dynamic
+// programming over hop layers. damp[v] is the dampening rate applied when a
+// message passes through v.
+func boundedStats(g *graph.Graph, src graph.NodeID, maxDepth int, damp []float64) (dist map[graph.NodeID]int, ret map[graph.NodeID]float64) {
+	dist = map[graph.NodeID]int{src: 0}
+	ret = map[graph.NodeID]float64{src: 1}
+	frontier := map[graph.NodeID]bool{src: true}
+	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		next := make(map[graph.NodeID]bool)
+		for u := range frontier {
+			// Retention through u: the source itself and the final
+			// destination do not dampen; every other node on the path
+			// does.
+			through := ret[u]
+			if u != src {
+				through *= damp[u]
+			}
+			for _, e := range g.OutEdges(u) {
+				if _, seen := dist[e.To]; !seen {
+					dist[e.To] = depth + 1
+					next[e.To] = true
+				}
+				if through > ret[e.To] {
+					// A better retention may arrive along a non-shortest
+					// path; record it and re-expand so it propagates.
+					ret[e.To] = through
+					next[e.To] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, ret
+}
+
+// NaiveIndex holds DS and LS for all node pairs (§V-A).
+type NaiveIndex struct {
+	n        int
+	maxDepth int
+	dist     []uint8   // n×n, row-major; maxDepth+1 encodes "further"
+	ret      []float64 // n×n retention upper bounds
+}
+
+// BuildNaive builds the all-pairs index up to maxDepth hops. Space is
+// O(|V|²); intended for small graphs (the paper itself abandons this scheme
+// for moderate sizes, which is the point of the star index).
+func BuildNaive(g *graph.Graph, damp []float64, maxDepth int) (*NaiveIndex, error) {
+	if maxDepth < 1 || maxDepth > maxUint8Depth {
+		return nil, fmt.Errorf("pathindex: maxDepth %d outside [1, %d]", maxDepth, maxUint8Depth)
+	}
+	if len(damp) != g.NumNodes() {
+		return nil, fmt.Errorf("pathindex: damp has %d entries for %d nodes", len(damp), g.NumNodes())
+	}
+	n := g.NumNodes()
+	ix := &NaiveIndex{
+		n:        n,
+		maxDepth: maxDepth,
+		dist:     make([]uint8, n*n),
+		ret:      make([]float64, n*n),
+	}
+	// Default: unknown ⇒ distance lower bound maxDepth+1, retention upper
+	// bound the best possible for an undiscovered (> maxDepth hop) path.
+	far := farRetention(damp, maxDepth)
+	for i := range ix.dist {
+		ix.dist[i] = uint8(maxDepth + 1)
+		ix.ret[i] = far
+	}
+	for v := 0; v < n; v++ {
+		dist, ret := boundedStats(g, graph.NodeID(v), maxDepth, damp)
+		row := v * n
+		for node, d := range dist {
+			ix.dist[row+int(node)] = uint8(d)
+			ix.ret[row+int(node)] = ret[node]
+		}
+	}
+	return ix, nil
+}
+
+// farRetention bounds the retention of any path longer than maxDepth hops:
+// such a path has at least maxDepth intermediate nodes, each costing at most
+// the maximal dampening rate in the graph.
+func farRetention(damp []float64, maxDepth int) float64 {
+	maxD := 0.0
+	for _, d := range damp {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	out := 1.0
+	for i := 0; i < maxDepth; i++ {
+		out *= maxD
+	}
+	return out
+}
+
+// DistanceLB implements Index.
+func (ix *NaiveIndex) DistanceLB(u, v graph.NodeID) int {
+	return int(ix.dist[int(u)*ix.n+int(v)])
+}
+
+// RetentionUB implements Index.
+func (ix *NaiveIndex) RetentionUB(u, v graph.NodeID) float64 {
+	return ix.ret[int(u)*ix.n+int(v)]
+}
+
+// MaxDepth reports the index's horizon: distances at or beyond
+// MaxDepth()+1 are lower bounds, not exact values.
+func (ix *NaiveIndex) MaxDepth() int { return ix.maxDepth }

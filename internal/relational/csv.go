@@ -1,0 +1,99 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV loading lets users bring their own data: one file per table with a
+// header row, and one file per relationship. This is the ingestion path a
+// downstream adopter uses in place of the synthetic generators.
+
+// LoadTupleCSV inserts tuples from r into the named table. The first record
+// is a header; a column named "key" (case-insensitive) supplies the primary
+// key, an optional "entity" column supplies the entity-merge key, and every
+// other column's text is concatenated (in header order) into the tuple's
+// searchable text.
+func LoadTupleCSV(db *Database, tableName string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("relational: reading %s header: %w", tableName, err)
+	}
+	keyCol, entityCol := -1, -1
+	var textCols []int
+	for i, h := range header {
+		switch strings.ToLower(strings.TrimSpace(h)) {
+		case "key":
+			keyCol = i
+		case "entity":
+			entityCol = i
+		default:
+			textCols = append(textCols, i)
+		}
+	}
+	if keyCol < 0 {
+		return 0, fmt.Errorf("relational: table %s: no %q column in header %v", tableName, "key", header)
+	}
+	count := 0
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return count, fmt.Errorf("relational: %s line %d: %w", tableName, line, err)
+		}
+		if keyCol >= len(rec) {
+			return count, fmt.Errorf("relational: %s line %d: missing key column", tableName, line)
+		}
+		var parts []string
+		for _, c := range textCols {
+			if c < len(rec) && strings.TrimSpace(rec[c]) != "" {
+				parts = append(parts, strings.TrimSpace(rec[c]))
+			}
+		}
+		t := Tuple{Key: strings.TrimSpace(rec[keyCol]), Text: strings.Join(parts, " ")}
+		if entityCol >= 0 && entityCol < len(rec) {
+			t.EntityKey = strings.TrimSpace(rec[entityCol])
+		}
+		if err := db.Insert(tableName, t); err != nil {
+			return count, fmt.Errorf("relational: %s line %d: %w", tableName, line, err)
+		}
+		count++
+	}
+	return count, nil
+}
+
+// LoadRelationshipCSV records relationship instances from r under the named
+// relationship. Each record is `fromKey,toKey`; an optional header row
+// `from,to` (case-insensitive) is skipped.
+func LoadRelationshipCSV(db *Database, relationship string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	count := 0
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return count, fmt.Errorf("relational: %s line %d: %w", relationship, line, err)
+		}
+		if len(rec) < 2 {
+			return count, fmt.Errorf("relational: %s line %d: want 2 columns, got %d", relationship, line, len(rec))
+		}
+		from, to := strings.TrimSpace(rec[0]), strings.TrimSpace(rec[1])
+		if line == 1 && strings.EqualFold(from, "from") && strings.EqualFold(to, "to") {
+			continue // header row
+		}
+		if err := db.Relate(relationship, from, to); err != nil {
+			return count, fmt.Errorf("relational: %s line %d: %w", relationship, line, err)
+		}
+		count++
+	}
+	return count, nil
+}

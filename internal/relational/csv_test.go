@@ -1,0 +1,111 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadTupleCSV(t *testing.T) {
+	db, err := NewDatabase(DBLPSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := LoadTupleCSV(db, "Author", strings.NewReader(
+		"key,name,affiliation\n"+
+			"a1,Yannis Papakonstantinou,UCSD\n"+
+			"a2,Jeffrey Ullman,Stanford\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d tuples, want 2", n)
+	}
+	tu, ok := db.Lookup("Author", "a1")
+	if !ok || tu.Text != "Yannis Papakonstantinou UCSD" {
+		t.Errorf("tuple = %+v, %v", tu, ok)
+	}
+}
+
+func TestLoadTupleCSVEntityColumn(t *testing.T) {
+	db, _ := NewDatabase(IMDBSchema())
+	_, err := LoadTupleCSV(db, "Actor", strings.NewReader(
+		"key,name,entity\nac1,Mel Gibson,person:mel\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, _ := db.Lookup("Actor", "ac1")
+	if tu.EntityKey != "person:mel" {
+		t.Errorf("entity key = %q", tu.EntityKey)
+	}
+}
+
+func TestLoadTupleCSVErrors(t *testing.T) {
+	db, _ := NewDatabase(DBLPSchema())
+	if _, err := LoadTupleCSV(db, "Author", strings.NewReader("name\nNo Key Column\n")); err == nil {
+		t.Error("missing key column accepted")
+	}
+	if _, err := LoadTupleCSV(db, "Author", strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Duplicate keys propagate the insert error with line context.
+	_, err := LoadTupleCSV(db, "Author", strings.NewReader("key,name\nx,a\nx,b\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("duplicate key error = %v", err)
+	}
+}
+
+func TestLoadRelationshipCSV(t *testing.T) {
+	db, _ := NewDatabase(DBLPSchema())
+	db.MustInsert("Author", Tuple{Key: "a1", Text: "x"})
+	db.MustInsert("Paper", Tuple{Key: "p1", Text: "y"})
+	db.MustInsert("Paper", Tuple{Key: "p2", Text: "z"})
+	n, err := LoadRelationshipCSV(db, "written_by", strings.NewReader(
+		"from,to\np1,a1\np2,a1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d links, want 2", n)
+	}
+	if db.NumLinks() != 2 {
+		t.Errorf("NumLinks = %d", db.NumLinks())
+	}
+	// Headerless input works too.
+	n, err = LoadRelationshipCSV(db, "cites", strings.NewReader("p1,p2\n"))
+	if err != nil || n != 1 {
+		t.Errorf("headerless load: n=%d err=%v", n, err)
+	}
+}
+
+func TestLoadRelationshipCSVErrors(t *testing.T) {
+	db, _ := NewDatabase(DBLPSchema())
+	if _, err := LoadRelationshipCSV(db, "written_by", strings.NewReader("only-one-column\n")); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := LoadRelationshipCSV(db, "written_by", strings.NewReader("ghost,ghost2\n")); err == nil {
+		t.Error("dangling reference accepted")
+	}
+}
+
+func TestCSVEndToEnd(t *testing.T) {
+	db, _ := NewDatabase(DBLPSchema())
+	if _, err := LoadTupleCSV(db, "Author", strings.NewReader("key,name\na1,alice winter\na2,bob summer\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTupleCSV(db, "Paper", strings.NewReader("key,title\np1,joint work on storage\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRelationshipCSV(db, "written_by", strings.NewReader("p1,a1\np1,a2\n")); err != nil {
+		t.Fatal(err)
+	}
+	g, m, err := BuildGraph(db, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Errorf("graph shape %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if _, ok := m.NodeOf("Paper", "p1"); !ok {
+		t.Error("mapping missing loaded tuple")
+	}
+}

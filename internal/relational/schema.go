@@ -1,0 +1,131 @@
+// Package relational implements the miniature relational substrate that the
+// keyword-search system runs on: table catalogs, tuple storage with primary
+// keys, declared relationships (the foreign-key and many-to-many links of
+// §II-A), and the builder that turns a populated database into the weighted
+// directed data graph of Fig. 1 — including the same-entity node merging the
+// paper applies to IMDB (§VI-A, the "Mel Gibson" rule) and the star-table
+// analysis required by star indexing (§V-B).
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relationship declares a schema-level connection between two tables. Every
+// related tuple pair produces two directed graph edges whose weights are
+// looked up in a graph.WeightTable by the (FromType, ToType) labels — these
+// default to the table names but can be overridden, which is how the DBLP
+// citation self-relationship distinguishes its two directions.
+type Relationship struct {
+	// Name identifies the relationship in Relate calls, e.g. "acts_in".
+	Name string
+	// From and To are the participating table names. They may be equal
+	// (e.g. paper citations).
+	From, To string
+	// FromType and ToType are the labels used for weight lookup for the
+	// From→To and To→From edge directions. Empty means the table name.
+	FromType, ToType string
+}
+
+// fromLabel returns the weight-lookup label for the From side.
+func (r *Relationship) fromLabel() string {
+	if r.FromType != "" {
+		return r.FromType
+	}
+	return r.From
+}
+
+// toLabel returns the weight-lookup label for the To side.
+func (r *Relationship) toLabel() string {
+	if r.ToType != "" {
+		return r.ToType
+	}
+	return r.To
+}
+
+// Schema declares the tables and relationships of a database.
+type Schema struct {
+	Tables        []string
+	Relationships []Relationship
+}
+
+// Validate checks that table names are unique and every relationship
+// references declared tables under a unique name.
+func (s *Schema) Validate() error {
+	tables := make(map[string]bool, len(s.Tables))
+	for _, t := range s.Tables {
+		if t == "" {
+			return fmt.Errorf("relational: empty table name")
+		}
+		if tables[t] {
+			return fmt.Errorf("relational: duplicate table %q", t)
+		}
+		tables[t] = true
+	}
+	rels := make(map[string]bool, len(s.Relationships))
+	for i := range s.Relationships {
+		r := &s.Relationships[i]
+		if r.Name == "" {
+			return fmt.Errorf("relational: relationship %d has empty name", i)
+		}
+		if rels[r.Name] {
+			return fmt.Errorf("relational: duplicate relationship %q", r.Name)
+		}
+		rels[r.Name] = true
+		if !tables[r.From] {
+			return fmt.Errorf("relational: relationship %q references unknown table %q", r.Name, r.From)
+		}
+		if !tables[r.To] {
+			return fmt.Errorf("relational: relationship %q references unknown table %q", r.Name, r.To)
+		}
+	}
+	return nil
+}
+
+// relationship looks up a declared relationship by name.
+func (s *Schema) relationship(name string) (*Relationship, bool) {
+	for i := range s.Relationships {
+		if s.Relationships[i].Name == name {
+			return &s.Relationships[i], true
+		}
+	}
+	return nil, false
+}
+
+// IMDBSchema reproduces the IMDB schema of Fig. 1(b): Movie at the center
+// with m:n relationships to Actor, Actress, Director, Producer and Company.
+func IMDBSchema() *Schema {
+	return &Schema{
+		Tables: []string{"Movie", "Actor", "Actress", "Director", "Producer", "Company"},
+		Relationships: []Relationship{
+			{Name: "acts_in", From: "Actor", To: "Movie"},
+			{Name: "actress_in", From: "Actress", To: "Movie"},
+			{Name: "directs", From: "Director", To: "Movie"},
+			{Name: "produces", From: "Producer", To: "Movie"},
+			{Name: "made_by", From: "Company", To: "Movie"},
+		},
+	}
+}
+
+// DBLPSchema reproduces the DBLP schema of Fig. 1(a): Conference 1:n Paper,
+// Paper m:n Author, and Paper m:n Paper citations with asymmetric edge-type
+// labels so the two citation directions can carry different weights
+// (Table II).
+func DBLPSchema() *Schema {
+	return &Schema{
+		Tables: []string{"Conference", "Paper", "Author"},
+		Relationships: []Relationship{
+			{Name: "appears_in", From: "Paper", To: "Conference"},
+			{Name: "written_by", From: "Paper", To: "Author"},
+			{Name: "cites", From: "Paper", To: "Paper", FromType: "Paper:citing", ToType: "Paper:cited"},
+		},
+	}
+}
+
+// SortedTableNames returns the schema's table names in sorted order.
+func (s *Schema) SortedTableNames() []string {
+	out := append([]string(nil), s.Tables...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,270 @@
+// Package rwmp implements the paper's primary contribution: the Random Walk
+// with Message Passing model (§III) and the CI-Rank scoring function built
+// on it (Eq. 2–4).
+//
+// Given global node importance values p (from internal/pagerank), the model
+// scores a joined tuple tree T for query Q as follows:
+//
+//  1. Message generation: every non-free node v_i emits
+//     r_ii = t · p_i · |v_i ∩ Q| / |v_i| messages of its own type, where
+//     t = 1/p_min is the total surfer population.
+//  2. Message passing: messages travel along the unique tree path toward
+//     every other node. Leaving a node u toward tree-neighbour w, the
+//     surviving count is multiplied by the split fraction
+//     w_uw / Σ_{n∈N(u)∩V(T)} w_un — the denominator covers all tree
+//     neighbours of u, including the one the message arrived from, because
+//     messages sent back along the incoming edge are discarded.
+//  3. Message dampening: at every intermediate node u the count is further
+//     multiplied by the dampening rate
+//     d_u = 1 − (1−α)^(1 + log_g(p_u / p_min))      (Eq. 2)
+//     which grows monotonically (and logarithmically) with u's importance:
+//     important connector nodes preserve more of the signal.
+//  4. Node score: a non-free node's score is the count of its least
+//     populous incoming message type (Eq. 3); the tree score is the mean
+//     node score over the non-free nodes in T (Eq. 4).
+package rwmp
+
+import (
+	"fmt"
+	"math"
+
+	"cirank/internal/graph"
+	"cirank/internal/jtt"
+	"cirank/internal/textindex"
+)
+
+// Params are the two knobs of the dampening function (§III-C.2): Alpha, the
+// probability a surfer keeps the messages during an in-node talk, and Group,
+// the number of listeners g per talk. The paper's defaults, chosen in its
+// Fig. 6/7 sweeps, are α = 0.15 and g = 20.
+type Params struct {
+	Alpha float64
+	Group float64
+}
+
+// DefaultParams returns the paper's chosen operating point.
+func DefaultParams() Params { return Params{Alpha: 0.15, Group: 20} }
+
+// Validate checks the parameters are in their mathematical domain.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("rwmp: alpha %g outside (0, 1)", p.Alpha)
+	}
+	if p.Group <= 1 {
+		return fmt.Errorf("rwmp: group size %g must exceed 1", p.Group)
+	}
+	return nil
+}
+
+// Model scores joined tuple trees under RWMP. It is immutable after New and
+// safe for concurrent use.
+type Model struct {
+	g      *graph.Graph
+	ix     *textindex.Index
+	params Params
+	imp    []float64 // node importance p_i
+	pmin   float64
+	t      float64   // total surfers, 1/p_min
+	damp   []float64 // precomputed dampening rate per node
+}
+
+// New builds a model over g with the given importance vector (one entry per
+// node, a probability distribution as produced by pagerank.Compute).
+func New(g *graph.Graph, ix *textindex.Index, importance []float64, params Params) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(importance) != g.NumNodes() {
+		return nil, fmt.Errorf("rwmp: importance has %d entries for %d nodes", len(importance), g.NumNodes())
+	}
+	pmin := math.Inf(1)
+	for _, p := range importance {
+		if p <= 0 {
+			return nil, fmt.Errorf("rwmp: non-positive importance %g", p)
+		}
+		if p < pmin {
+			pmin = p
+		}
+	}
+	m := &Model{
+		g:      g,
+		ix:     ix,
+		params: params,
+		imp:    importance,
+		pmin:   pmin,
+		t:      1 / pmin,
+		damp:   make([]float64, g.NumNodes()),
+	}
+	for i := range m.damp {
+		m.damp[i] = dampRate(params, importance[i], pmin)
+	}
+	return m, nil
+}
+
+// dampRate evaluates Eq. 2: d = 1 − (1−α)^(1 + log_g(p/p_min)). The result
+// is clamped strictly below 1: for large α and very important nodes the
+// power term underflows and floating point would round the rate up to
+// exactly 1, but Eq. 2's dampening is strictly lossy.
+func dampRate(params Params, p, pmin float64) float64 {
+	exponent := 1 + math.Log(p/pmin)/math.Log(params.Group)
+	d := 1 - math.Pow(1-params.Alpha, exponent)
+	if max := math.Nextafter(1, 0); d > max {
+		d = max
+	}
+	return d
+}
+
+// Params returns the model's dampening parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Graph returns the underlying data graph.
+func (m *Model) Graph() *graph.Graph { return m.g }
+
+// Index returns the text index the model matches keywords with.
+func (m *Model) Index() *textindex.Index { return m.ix }
+
+// Importance returns p_v.
+func (m *Model) Importance(v graph.NodeID) float64 { return m.imp[v] }
+
+// PMin returns the smallest importance value in the graph.
+func (m *Model) PMin() float64 { return m.pmin }
+
+// Surfers returns the total surfer population t = 1/p_min.
+func (m *Model) Surfers() float64 { return m.t }
+
+// Damp returns the dampening rate d_v of Eq. 2.
+func (m *Model) Damp(v graph.NodeID) float64 { return m.damp[v] }
+
+// MaxDamp returns the largest dampening rate in the graph: any path of h
+// hops retains at most MaxDamp^(h−1) of its messages, a bound the search
+// uses to discount far-away supplement nodes.
+func (m *Model) MaxDamp() float64 {
+	max := 0.0
+	for _, d := range m.damp {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Generation returns r_vv = t · p_v · |v ∩ Q| / |v|, the number of messages
+// node v generates for the query; zero for free nodes or empty nodes.
+func (m *Model) Generation(v graph.NodeID, queryTerms []string) float64 {
+	words := m.ix.NodeLen(v)
+	if words == 0 {
+		return 0
+	}
+	match := m.ix.QueryMatchCount(v, queryTerms)
+	if match == 0 {
+		return 0
+	}
+	return m.t * m.imp[v] * float64(match) / float64(words)
+}
+
+// splitDenominator sums the directed weights from u to all of its tree
+// neighbours.
+func (m *Model) splitDenominator(t *jtt.Tree, u graph.NodeID) float64 {
+	sum := 0.0
+	for _, n := range t.Neighbors(u) {
+		if w, ok := m.g.Weight(u, n); ok {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// Delivered returns f_{src→dst}: the number of src-type messages arriving at
+// dst after traveling the unique tree path, including src's generation
+// count. Returns Generation(src) when src == dst.
+func (m *Model) Delivered(t *jtt.Tree, src, dst graph.NodeID, queryTerms []string) float64 {
+	count := m.Generation(src, queryTerms)
+	if count == 0 || src == dst {
+		return count
+	}
+	return count * m.PathFactor(t, src, dst)
+}
+
+// PathFactor returns the multiplicative attenuation a message experiences
+// traveling from src to dst along the tree path: the product of split
+// fractions at every hop and dampening rates at every intermediate node.
+// It is 1 when src == dst and 0 if any required directed edge is missing.
+func (m *Model) PathFactor(t *jtt.Tree, src, dst graph.NodeID) float64 {
+	if src == dst {
+		return 1
+	}
+	path := t.Path(src, dst)
+	factor := 1.0
+	for i := 0; i+1 < len(path); i++ {
+		u, next := path[i], path[i+1]
+		w, ok := m.g.Weight(u, next)
+		if !ok {
+			return 0
+		}
+		denom := m.splitDenominator(t, u)
+		if denom <= 0 {
+			return 0
+		}
+		factor *= w / denom
+		if i > 0 {
+			factor *= m.damp[u]
+		}
+	}
+	return factor
+}
+
+// NodeScore evaluates Eq. 3 for a non-free node v of tree t: the minimum
+// delivered count over the other non-free nodes (sources). When v is the
+// only source, its score is its own generation count — this is what makes a
+// single relevant node beat the free-node-dominated alternative in the
+// paper's Fig. 4 example.
+func (m *Model) NodeScore(t *jtt.Tree, v graph.NodeID, sources []graph.NodeID, queryTerms []string) float64 {
+	minFlow := math.Inf(1)
+	others := 0
+	for _, s := range sources {
+		if s == v {
+			continue
+		}
+		others++
+		if f := m.Delivered(t, s, v, queryTerms); f < minFlow {
+			minFlow = f
+		}
+	}
+	if others == 0 {
+		return m.Generation(v, queryTerms)
+	}
+	return minFlow
+}
+
+// ScoreTree evaluates Eq. 4: the mean node score over the tree's non-free
+// nodes. sources must be exactly the non-free nodes of t with respect to the
+// query (nodes matching at least one term); passing them explicitly lets the
+// search reuse its bookkeeping. Returns 0 for an empty source set.
+func (m *Model) ScoreTree(t *jtt.Tree, sources []graph.NodeID, queryTerms []string) float64 {
+	if len(sources) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range sources {
+		sum += m.NodeScore(t, v, sources, queryTerms)
+	}
+	return sum / float64(len(sources))
+}
+
+// SourcesIn returns the non-free nodes of t for the query, in ascending
+// order.
+func (m *Model) SourcesIn(t *jtt.Tree, queryTerms []string) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range t.Nodes() {
+		if m.ix.QueryMatchCount(v, queryTerms) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Score is the convenience entry point: determines the tree's non-free
+// nodes and evaluates Eq. 4.
+func (m *Model) Score(t *jtt.Tree, queryTerms []string) float64 {
+	return m.ScoreTree(t, m.SourcesIn(t, queryTerms), queryTerms)
+}

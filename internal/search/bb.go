@@ -1,0 +1,201 @@
+package search
+
+import (
+	"container/heap"
+	"strconv"
+
+	"cirank/internal/graph"
+	"cirank/internal/jtt"
+)
+
+// candidate is a tree in the branch-and-bound frontier.
+type candidate struct {
+	tree    *jtt.Tree
+	cover   uint64
+	sources []graph.NodeID
+	ub      float64
+	seq     int // insertion order, for deterministic tie-breaking
+}
+
+// candidateQueue is a max-heap on upper bound.
+type candidateQueue []*candidate
+
+func (q candidateQueue) Len() int { return len(q) }
+func (q candidateQueue) Less(i, j int) bool {
+	if q[i].ub != q[j].ub {
+		return q[i].ub > q[j].ub
+	}
+	return q[i].seq < q[j].seq
+}
+func (q candidateQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *candidateQueue) Push(x interface{}) { *q = append(*q, x.(*candidate)) }
+func (q *candidateQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	c := old[n-1]
+	*q = old[:n-1]
+	return c
+}
+
+// bbState carries the mutable state of one branch-and-bound run.
+type bbState struct {
+	s      *Searcher
+	qc     *queryContext
+	opts   Options
+	pq     candidateQueue
+	seen   map[string]bool // canonical keys of generated candidates
+	byRoot map[graph.NodeID][]*candidate
+	top    *topK
+	stats  Stats
+	seq    int
+}
+
+// TopK runs the branch-and-bound search of Algorithm 1 and returns the
+// top-k answers in descending score order. The result is optimal
+// (Theorem 1): no valid answer tree within the diameter limit scores higher
+// than the k-th returned answer, unless Stats.Truncated reports an early
+// stop via MaxExpansions.
+func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	qc, ok, err := s.prepare(terms)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !ok {
+		return nil, Stats{}, nil // some keyword has no match: AND semantics
+	}
+	if !opts.NoDynamicBounds {
+		qc.computeTermDistances(s.m.Graph(), opts.Diameter)
+	}
+	qc.maxDamp = s.m.MaxDamp()
+	st := &bbState{
+		s:      s,
+		qc:     qc,
+		opts:   opts,
+		seen:   make(map[string]bool),
+		byRoot: make(map[graph.NodeID][]*candidate),
+		top:    newTopK(opts.K),
+	}
+	for _, v := range qc.nonFree {
+		st.consider(jtt.NewSingle(v))
+	}
+	halfD := halfDiameter(opts.Diameter)
+	for st.pq.Len() > 0 {
+		c := heap.Pop(&st.pq).(*candidate)
+		if st.top.full() && c.ub < st.top.min() {
+			break // Lemma 1: nothing better can emerge from the frontier
+		}
+		if opts.MaxExpansions > 0 && st.stats.Expanded >= opts.MaxExpansions {
+			st.stats.Truncated = true
+			break
+		}
+		st.stats.Expanded++
+		root := c.tree.Root()
+		for _, e := range s.m.Graph().OutEdges(root) {
+			nb := e.To
+			if c.tree.Contains(nb) {
+				continue
+			}
+			grown, err := c.tree.Grow(s.m.Graph(), nb)
+			if err != nil {
+				continue
+			}
+			if grown.Depth() > halfD {
+				continue
+			}
+			st.consider(grown)
+		}
+	}
+	return st.top.results(), st.stats, nil
+}
+
+// mergeAllowed applies the merge admission rule. The default (the paper's
+// §IV-B wording) requires the union to cover strictly more keywords than
+// either operand; extended mode also admits merges that only add non-free
+// nodes (see Options.ExtendedMerge).
+func (st *bbState) mergeAllowed(a, b *candidate) bool {
+	if st.opts.ExtendedMerge {
+		// Every candidate contains at least one non-free node (its
+		// original single-node seed), and Merge rejects overlap, so any
+		// merge adds at least one non-free node; always admissible.
+		return true
+	}
+	union := a.cover | b.cover
+	return union != a.cover && union != b.cover
+}
+
+// consider registers a newly built tree: dedupes it, computes its upper
+// bound, records complete answers, enqueues it for expansion, and attempts
+// tree merges (Algorithm 1 lines 16–20) against every same-root candidate
+// created before it. Because every candidate merges against all its
+// predecessors at creation, each unordered pair is attempted exactly once
+// and the merge set is transitively closed — a root with any number of
+// child subtrees is reachable, which Theorem 1's optimality needs.
+// It returns the candidate, or nil if the tree was already known or is
+// hopeless (zero upper bound: some keyword has no feasible supplement).
+func (st *bbState) consider(tree *jtt.Tree) *candidate {
+	// The Generated cap backstops the merge closure: MaxExpansions alone
+	// bounds queue pops, but a single expansion can cascade through many
+	// merges.
+	if st.opts.MaxExpansions > 0 && st.stats.Generated >= 40*st.opts.MaxExpansions {
+		st.stats.Truncated = true
+		return nil
+	}
+	key := tree.CanonicalKey() + rootTag(tree)
+	if st.seen[key] {
+		return nil
+	}
+	st.seen[key] = true
+	c := &candidate{
+		tree:    tree,
+		cover:   st.qc.cover(tree),
+		sources: st.qc.sourcesIn(tree),
+		seq:     st.seq,
+	}
+	st.seq++
+	st.stats.Generated++
+	if c.cover == st.qc.full && st.qc.validAnswer(tree, st.opts.Diameter) {
+		score := st.s.m.ScoreTree(tree, c.sources, st.qc.terms)
+		if st.top.add(tree, score) {
+			st.stats.Answers++
+		}
+	}
+	c.ub = st.upperBound(c)
+	if c.ub <= 0 {
+		return nil
+	}
+	// Generation-time pruning: if the candidate's bound cannot beat the
+	// current k-th answer it can never contribute (the k-th score only
+	// rises), so don't enqueue it, don't register it for merges, and don't
+	// close merges over it. This is what keeps the merge closure from
+	// exploding quadratically around hub roots.
+	if st.top.full() && c.ub < st.top.min() {
+		return nil
+	}
+	heap.Push(&st.pq, c)
+	root := tree.Root()
+	// Snapshot: candidates created during the recursive merges below will
+	// themselves merge against everything existing at their creation,
+	// including c, so iterating the pre-existing set suffices for closure.
+	others := st.byRoot[root]
+	st.byRoot[root] = append(st.byRoot[root], c)
+	for _, other := range others {
+		if !st.mergeAllowed(c, other) {
+			continue
+		}
+		merged, err := c.tree.Merge(other.tree)
+		if err != nil {
+			continue // overlap: the sanity check of §IV-B
+		}
+		st.consider(merged)
+	}
+	return c
+}
+
+// rootTag distinguishes identical trees rooted differently: both rootings
+// must be explored because grow and merge operate on the root.
+func rootTag(t *jtt.Tree) string {
+	return "@" + strconv.Itoa(int(t.Root()))
+}

@@ -1,0 +1,290 @@
+package search
+
+import (
+	"math"
+
+	"cirank/internal/graph"
+)
+
+// This file implements the upper-bound machinery of §IV-B. A candidate tree
+// C(v_root) can only be extended through its root (the grow/merge
+// invariant), so every bound reasons about message flows crossing the root.
+//
+// The bound is ub(C) = max over two families of per-node score bounds:
+//
+//   - for each non-free node v already in C, an upper bound on score(v) in
+//     any completed tree T ⊇ C (the paper's complete estimate, ce);
+//   - for any non-free node outside C that a completion might add, an upper
+//     bound on its score (the potential estimate, pe): all of its incoming
+//     messages from C's sources must cross the root.
+//
+// Because Eq. 4 averages node scores, score(T) = avg ≤ max over these
+// per-node bounds, which is Lemma 1 in a form that is provably sound for
+// our exact message-passing semantics (the tests certify optimality against
+// exhaustive enumeration).
+//
+// The path index tightens the supplement bounds in two ways, exactly the
+// §V motivation: distance lower bounds discard supplement nodes that cannot
+// attach within the diameter limit (killing the paper's "noisy node"
+// problem), and retention upper bounds scale a supplement's generation by
+// the best dampening product any connecting path could keep.
+
+// supplyScanCap bounds the per-term scan when evaluating index-assisted
+// supplement bounds; past the cap the remaining nodes (sorted by descending
+// generation) are bounded by their generation alone, keeping the bound
+// sound at O(1) extra cost.
+const supplyScanCap = 256
+
+// upperBound computes ub(C) = max(ce, pe). A return of 0 means the
+// candidate can never become a valid answer (some keyword has no feasible
+// supplement) and must be pruned.
+func (st *bbState) upperBound(c *candidate) float64 {
+	m := st.s.m
+	qc := st.qc
+	root := c.tree.Root()
+	missing := qc.full &^ c.cover
+
+	// Best possible delivery, at the root, from a supplement covering each
+	// missing term.
+	var supplies []float64
+	for ti := range qc.terms {
+		if missing&(uint64(1)<<ti) == 0 {
+			continue
+		}
+		best := st.bestSupply(ti, c)
+		if best <= 0 {
+			return 0 // no feasible node can cover this keyword
+		}
+		supplies = append(supplies, best)
+	}
+
+	flowAtRoot := make([]float64, len(c.sources))
+	for i, src := range c.sources {
+		flowAtRoot[i] = m.Delivered(c.tree, src, root, qc.terms)
+	}
+	dampRoot := m.Damp(root)
+
+	// pe: bound on the score of any node added outside C. Its messages
+	// from C's sources cross the root (dampened there unless the root is
+	// the source itself), then attenuate by at most 1.
+	ubNew := math.Inf(1)
+	for i, src := range c.sources {
+		f := flowAtRoot[i]
+		if src != root {
+			f *= dampRoot
+		}
+		if f < ubNew {
+			ubNew = f
+		}
+	}
+
+	// Per-source score bounds (the complete-estimate side).
+	flowSum := 0.0
+	if missing == 0 {
+		// Adding sources only shrinks each node's min, so the current
+		// exact node scores are the bounds.
+		for _, v := range c.sources {
+			flowSum += m.NodeScore(c.tree, v, c.sources, qc.terms)
+		}
+	} else {
+		// Each in-tree source's score is capped by flows from existing
+		// sources (exact within C) and by the best supplement flow
+		// entering at the root and descending to v.
+		for _, v := range c.sources {
+			ub := math.Inf(1)
+			for _, src := range c.sources {
+				if src == v {
+					continue
+				}
+				if f := m.Delivered(c.tree, src, v, qc.terms); f < ub {
+					ub = f
+				}
+			}
+			factor := m.PathFactor(c.tree, root, v)
+			if v != root {
+				factor *= dampRoot
+			}
+			for _, sup := range supplies {
+				if f := sup * factor; f < ub {
+					ub = f
+				}
+			}
+			flowSum += ub
+		}
+	}
+	// Eq. 4 averages node scores, so the bound can average too: a completed
+	// tree's sources are C's sources plus |A| added nodes, each of the
+	// latter bounded by ubNew, giving
+	//
+	//	score(T) ≤ (Σ ubFlow_v + |A|·ubNew) / (|S_C| + |A|).
+	//
+	// The right side is monotone in |A| between |A| = aMin (at least one
+	// supplement when keywords are missing) and |A| → ∞ (limit ubNew), so
+	// the maximum of the two endpoints bounds every completion. This is
+	// strictly tighter than bounding by the largest individual node score.
+	aMin := 0.0
+	if missing != 0 {
+		aMin = 1
+	}
+	n := float64(len(c.sources))
+	atMin := (flowSum + aMin*ubNew) / (n + aMin)
+	if ubNew > atMin {
+		return ubNew
+	}
+	return atMin
+}
+
+// bestSupply bounds the message count any node covering term ti could
+// deliver to the candidate's root: max over feasible nodes v of
+// generation(v) · retentionUB(v → root).
+//
+// With an index, nodes that cannot attach within the diameter budget are
+// discarded and the indexed retention discounts the rest. Without an index
+// the paper's direct-neighbour refinement applies (§IV-B): a supplement is
+// either a direct neighbour of the root (scenario 1 — only actual
+// neighbours' generations count) or it connects through some neighbour,
+// where its messages are dampened once (scenario 2 — the global best
+// generation is discounted by the best neighbour dampening rate). The
+// greater of the two scenarios is the bound.
+func (st *bbState) bestSupply(ti int, c *candidate) float64 {
+	nodes := st.qc.byGen[ti]
+	root := c.tree.Root()
+	idx := st.opts.Index
+	budget := st.opts.Diameter - c.tree.Depth()
+	// Exact nearest-supplement distance from the per-term BFS: if even the
+	// closest node matching the term lies beyond the budget, no completion
+	// exists through this root.
+	dmin := st.qc.distToTerm(ti, root, st.opts.Diameter)
+	if dmin > budget {
+		return 0
+	}
+	refined := st.neighborRefinedSupply(ti, c, nodes, root, dmin)
+	if idx == nil {
+		return refined
+	}
+	best := 0.0
+	scanned := 0
+	for _, v := range nodes {
+		if c.tree.Contains(v) {
+			continue
+		}
+		g := st.qc.gen[v]
+		if g <= best {
+			break // sorted by descending generation; retention ≤ 1
+		}
+		if idx.DistanceLB(v, root) > budget {
+			continue
+		}
+		if r := g * idx.RetentionUB(v, root); r > best {
+			best = r
+		}
+		scanned++
+		if scanned >= supplyScanCap {
+			// The unscanned tail is bounded by its best generation.
+			if tail := tailGen(nodes, st.qc.gen, v); tail > best {
+				best = tail
+			}
+			break
+		}
+	}
+	// Both estimates are valid upper bounds; the indexed search gets the
+	// tighter of the two, so adding an index never weakens the bounds.
+	if refined < best {
+		return refined
+	}
+	return best
+}
+
+// neighborRefinedSupply is the index-free supplement bound with the
+// direct-neighbour refinement. dmin is the exact distance from the root to
+// the nearest node matching the term.
+func (st *bbState) neighborRefinedSupply(ti int, c *candidate, nodes []graph.NodeID, root graph.NodeID, dmin int) float64 {
+	m := st.s.m
+	// Scenario 2: a non-adjacent supplement enters through some
+	// out-of-tree root neighbour n, crossing at least max(dmin, 2) hops and
+	// therefore at least max(dmin, 2) − 1 dampening intermediates, the
+	// first of which is n itself.
+	nbrDamp := 0.0
+	for _, e := range m.Graph().OutEdges(root) {
+		if c.tree.Contains(e.To) {
+			continue
+		}
+		if d := m.Damp(e.To); d > nbrDamp {
+			nbrDamp = d
+		}
+	}
+	// Retention bound for a supplement d hops away: no intermediate for an
+	// adjacent one, otherwise the entry neighbour plus d−2 further
+	// intermediates, each at most maxDamp.
+	retention := func(d int) float64 {
+		if d <= 1 {
+			return 1
+		}
+		r := nbrDamp
+		for i := 2; i < d; i++ {
+			r *= st.qc.maxDamp
+		}
+		return r
+	}
+	budget := st.opts.Diameter - c.tree.Depth()
+	best := 0.0
+	// Heavy hitters with exact distances (absent when dynamic bounds are
+	// disabled).
+	var topSup []supplierInfo
+	if st.qc.topSup != nil {
+		topSup = st.qc.topSup[ti]
+	}
+	inTop := make(map[graph.NodeID]bool, len(topSup))
+	for _, sup := range topSup {
+		inTop[sup.node] = true
+		if c.tree.Contains(sup.node) {
+			continue
+		}
+		d := int(sup.dist[root])
+		if d < 0 || d > budget {
+			continue // unreachable within the diameter budget
+		}
+		if cand := sup.gen * retention(d); cand > best {
+			best = cand
+		}
+	}
+	// Tail: the best generation outside the heavy hitters, discounted by
+	// the nearest-matcher distance (a lower bound for every supplement).
+	for _, v := range nodes {
+		if c.tree.Contains(v) || inTop[v] {
+			continue
+		}
+		if cand := st.qc.gen[v] * retention(dmin); cand > best {
+			best = cand
+		}
+		break // byGen is sorted descending
+	}
+	// Scenario 1: the supplement is itself a direct neighbour of the root
+	// (no intermediate, no dampening).
+	if dmin <= 1 {
+		for _, e := range m.Graph().OutEdges(root) {
+			v := e.To
+			if c.tree.Contains(v) {
+				continue
+			}
+			if st.qc.masks[v]&(uint64(1)<<ti) == 0 {
+				continue
+			}
+			if g := st.qc.gen[v]; g > best {
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+// tailGen returns the highest generation strictly after node v in the
+// descending-generation list (0 if v is last).
+func tailGen(nodes []graph.NodeID, gen map[graph.NodeID]float64, v graph.NodeID) float64 {
+	for i, n := range nodes {
+		if n == v && i+1 < len(nodes) {
+			return gen[nodes[i+1]]
+		}
+	}
+	return 0
+}

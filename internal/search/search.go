@@ -1,0 +1,348 @@
+// Package search implements the top-k answer generation algorithms of §IV:
+// the naive breadth-first algorithm (§IV-A), the branch-and-bound algorithm
+// over candidate trees (§IV-B, Algorithm 1), and — for validation — an
+// exhaustive enumerator of all reduced answer trees, used by the tests to
+// certify the branch-and-bound optimality guarantee (Theorem 1).
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cirank/internal/graph"
+	"cirank/internal/jtt"
+	"cirank/internal/pathindex"
+	"cirank/internal/rwmp"
+)
+
+// Options configure a search.
+type Options struct {
+	// K is the number of answers to return.
+	K int
+	// Diameter is the maximal answer-tree diameter D (§IV). The paper
+	// evaluates D ∈ {4, 5, 6}.
+	Diameter int
+	// Index optionally provides DS/LS bounds (§V) that tighten the
+	// branch-and-bound upper bounds and prune far-away supplement nodes.
+	Index pathindex.Index
+	// MaxExpansions caps the number of candidate-tree expansions in the
+	// branch-and-bound loop as a safety valve; 0 means unlimited. When the
+	// cap fires the results are the best found so far and Stats.Truncated
+	// is set.
+	MaxExpansions int
+	// NoDynamicBounds disables the per-query distance machinery (one
+	// multi-source BFS per term plus exact-distance BFS from the heaviest
+	// suppliers) that tightens the upper bounds at query time. The
+	// machinery is this implementation's extension over the paper's
+	// upper-bound search; the Fig. 11/12 reproduction disables it so the
+	// with/without-star-index comparison measures what the paper measured.
+	NoDynamicBounds bool
+	// ExtendedMerge admits tree merges that add non-free nodes without
+	// covering new keywords. The default (false) follows the paper's §IV-B
+	// rule — merge only when the union covers more keywords than either
+	// operand — which is what prevents a combinatorial explosion of
+	// leaf-subset candidates around hub nodes. The strict rule cannot
+	// assemble answers where a root has three or more same-keyword child
+	// subtrees (two are reachable through re-rooted grows); extended mode
+	// restores full completeness at exponential cost and exists for the
+	// exhaustive-oracle validation tests and the ablation benchmark.
+	ExtendedMerge bool
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("search: K must be at least 1, got %d", o.K)
+	}
+	if o.Diameter < 0 {
+		return fmt.Errorf("search: negative diameter %d", o.Diameter)
+	}
+	if o.MaxExpansions < 0 {
+		return fmt.Errorf("search: negative MaxExpansions %d", o.MaxExpansions)
+	}
+	return nil
+}
+
+// Answer is one ranked query answer.
+type Answer struct {
+	Tree  *jtt.Tree
+	Score float64
+}
+
+// Stats reports work done by a search, for the efficiency experiments.
+type Stats struct {
+	// Expanded counts candidate trees popped and expanded.
+	Expanded int
+	// Generated counts candidate trees created (after dedup).
+	Generated int
+	// Answers counts complete valid answers encountered (before top-k
+	// truncation, after dedup).
+	Answers int
+	// Truncated reports that MaxExpansions stopped the search early.
+	Truncated bool
+}
+
+// Searcher runs queries against one RWMP model. It is safe for concurrent
+// use: searches share only immutable state.
+type Searcher struct {
+	m *rwmp.Model
+}
+
+// New returns a Searcher over the model.
+func New(m *rwmp.Model) *Searcher { return &Searcher{m: m} }
+
+// Model returns the scoring model the searcher uses.
+func (s *Searcher) Model() *rwmp.Model { return s.m }
+
+// maxQueryTerms bounds the per-candidate coverage bitmask.
+const maxQueryTerms = 64
+
+// queryContext precomputes per-query matching structures shared by all
+// algorithms.
+type queryContext struct {
+	terms   []string
+	full    uint64
+	masks   map[graph.NodeID]uint64 // node → bitmask of matched terms
+	perTerm [][]graph.NodeID        // term → matching nodes (ascending)
+	gen     map[graph.NodeID]float64
+	byGen   [][]graph.NodeID // term → matching nodes, generation descending
+	maxGen  float64
+	nonFree []graph.NodeID // all matching nodes, ascending
+	// termDist[t][v] is the exact hop distance from node v to the nearest
+	// node matching term t, computed by one depth-bounded multi-source BFS
+	// per term; -1 means beyond the horizon. The branch-and-bound bounds
+	// use it to discard candidates that cannot reach a missing keyword
+	// within the diameter budget — the same information the naive
+	// algorithm's BFS phase gathers (§IV-A), turned into pruning.
+	termDist [][]int32
+	// maxDamp is the largest dampening rate in the graph; a path of h hops
+	// retains at most maxDamp^(h-1), which discounts far-away supplements
+	// even without a prebuilt index.
+	maxDamp float64
+	// topSup[t] holds, for the few highest-generation nodes matching term
+	// t, their exact distances to every node (one BFS each). These heavy
+	// hitters dominate the supplement bounds, and exact distances let the
+	// branch-and-bound discount them per candidate root instead of using
+	// the loose global maximum — the decisive pruning for low-ambiguity
+	// queries when no prebuilt index is available.
+	topSup [][]supplierInfo
+}
+
+// supplierInfo is one high-generation keyword node with its BFS distances.
+type supplierInfo struct {
+	node graph.NodeID
+	gen  float64
+	dist []int32 // -1 beyond horizon
+}
+
+// topSuppliersPerTerm bounds the per-term exact-distance BFS count.
+const topSuppliersPerTerm = 4
+
+// computeTermDistances fills termDist (multi-source BFS per term) and
+// topSup (exact per-node BFS from each term's heaviest generators), both
+// bounded by horizon maxDepth.
+func (qc *queryContext) computeTermDistances(g *graph.Graph, maxDepth int) {
+	qc.termDist = make([][]int32, len(qc.terms))
+	qc.topSup = make([][]supplierInfo, len(qc.terms))
+	for ti := range qc.terms {
+		qc.termDist[ti] = bfsDistances(g, qc.perTerm[ti], maxDepth)
+		top := qc.byGen[ti]
+		if len(top) > topSuppliersPerTerm {
+			top = top[:topSuppliersPerTerm]
+		}
+		for _, v := range top {
+			qc.topSup[ti] = append(qc.topSup[ti], supplierInfo{
+				node: v,
+				gen:  qc.gen[v],
+				dist: bfsDistances(g, []graph.NodeID{v}, maxDepth),
+			})
+		}
+	}
+}
+
+// bfsDistances runs a depth-bounded multi-source BFS and returns per-node
+// hop distances (-1 beyond the horizon).
+func bfsDistances(g *graph.Graph, sources []graph.NodeID, maxDepth int) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := make([]graph.NodeID, 0, len(sources))
+	for _, v := range sources {
+		if dist[v] < 0 {
+			dist[v] = 0
+			frontier = append(frontier, v)
+		}
+	}
+	for depth := int32(0); depth < int32(maxDepth) && len(frontier) > 0; depth++ {
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, e := range g.OutEdges(u) {
+				if dist[e.To] < 0 {
+					dist[e.To] = depth + 1
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// distToTerm returns the exact distance from v to the nearest node matching
+// term ti, or maxDepth+1 as a lower bound when it lies beyond the horizon.
+func (qc *queryContext) distToTerm(ti int, v graph.NodeID, maxDepth int) int {
+	if qc.termDist == nil {
+		return 0
+	}
+	d := qc.termDist[ti][v]
+	if d < 0 {
+		return maxDepth + 1
+	}
+	return int(d)
+}
+
+// prepare normalizes the query and resolves its non-free node sets. It
+// returns an error for empty or oversized queries and ok=false when some
+// term has no matches (AND semantics ⇒ no answers).
+func (s *Searcher) prepare(rawTerms []string) (*queryContext, bool, error) {
+	var terms []string
+	seen := map[string]bool{}
+	for _, t := range rawTerms {
+		t = strings.ToLower(strings.TrimSpace(t))
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		terms = append(terms, t)
+	}
+	if len(terms) == 0 {
+		return nil, false, fmt.Errorf("search: empty query")
+	}
+	if len(terms) > maxQueryTerms {
+		return nil, false, fmt.Errorf("search: query has %d terms, limit %d", len(terms), maxQueryTerms)
+	}
+	qc := &queryContext{
+		terms: terms,
+		full:  (uint64(1) << len(terms)) - 1,
+		masks: make(map[graph.NodeID]uint64),
+		gen:   make(map[graph.NodeID]float64),
+	}
+	ix := s.m.Index()
+	for i, term := range terms {
+		nodes := ix.MatchingNodes(term)
+		if len(nodes) == 0 {
+			return qc, false, nil
+		}
+		qc.perTerm = append(qc.perTerm, nodes)
+		for _, v := range nodes {
+			qc.masks[v] |= uint64(1) << i
+		}
+	}
+	for v := range qc.masks {
+		qc.nonFree = append(qc.nonFree, v)
+		g := s.m.Generation(v, terms)
+		qc.gen[v] = g
+		if g > qc.maxGen {
+			qc.maxGen = g
+		}
+	}
+	sort.Slice(qc.nonFree, func(i, j int) bool { return qc.nonFree[i] < qc.nonFree[j] })
+	qc.byGen = make([][]graph.NodeID, len(terms))
+	for i := range terms {
+		nodes := append([]graph.NodeID(nil), qc.perTerm[i]...)
+		sort.Slice(nodes, func(a, b int) bool {
+			ga, gb := qc.gen[nodes[a]], qc.gen[nodes[b]]
+			if ga != gb {
+				return ga > gb
+			}
+			return nodes[a] < nodes[b]
+		})
+		qc.byGen[i] = nodes
+	}
+	return qc, true, nil
+}
+
+// isNonFree reports whether v matches any query term.
+func (qc *queryContext) isNonFree(v graph.NodeID) bool { return qc.masks[v] != 0 }
+
+// sourcesIn lists the non-free nodes of t, ascending.
+func (qc *queryContext) sourcesIn(t *jtt.Tree) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range t.Nodes() {
+		if qc.masks[v] != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// cover returns the union of term masks over t's nodes.
+func (qc *queryContext) cover(t *jtt.Tree) uint64 {
+	var c uint64
+	for _, v := range t.Nodes() {
+		c |= qc.masks[v]
+	}
+	return c
+}
+
+// validAnswer reports whether t is a valid complete answer: covers all
+// terms, is reduced (Def. 3) and respects the diameter limit.
+func (qc *queryContext) validAnswer(t *jtt.Tree, diameter int) bool {
+	return qc.cover(t) == qc.full && t.IsReduced(qc.isNonFree) && t.Diameter() <= diameter
+}
+
+// halfDiameter is the growth depth limit ⌈D/2⌉: every tree of diameter ≤ D
+// has a center rooting of depth at most ⌈D/2⌉, so bounding candidate depth
+// preserves completeness while halving the search frontier (§IV-A).
+func halfDiameter(d int) int { return (d + 1) / 2 }
+
+// topK maintains the best-k answers with canonical-key deduplication.
+type topK struct {
+	k     int
+	items []Answer
+	keys  map[string]bool
+}
+
+func newTopK(k int) *topK { return &topK{k: k, keys: make(map[string]bool)} }
+
+// add inserts the answer unless its tree is already present. It reports
+// whether the list changed.
+func (t *topK) add(tree *jtt.Tree, score float64) bool {
+	key := tree.CanonicalKey()
+	if t.keys[key] {
+		return false
+	}
+	if len(t.items) == t.k && score <= t.items[len(t.items)-1].Score {
+		// Would fall off the end; remember nothing (key may reappear with
+		// the same score — dedup by key only matters inside the list).
+		return false
+	}
+	t.keys[key] = true
+	pos := sort.Search(len(t.items), func(i int) bool { return t.items[i].Score < score })
+	t.items = append(t.items, Answer{})
+	copy(t.items[pos+1:], t.items[pos:])
+	t.items[pos] = Answer{Tree: tree, Score: score}
+	if len(t.items) > t.k {
+		drop := t.items[len(t.items)-1]
+		delete(t.keys, drop.Tree.CanonicalKey())
+		t.items = t.items[:len(t.items)-1]
+	}
+	return true
+}
+
+// full reports whether k answers are held.
+func (t *topK) full() bool { return len(t.items) == t.k }
+
+// min returns the k-th best score, or -1 when not yet full (all real scores
+// are non-negative).
+func (t *topK) min() float64 {
+	if !t.full() {
+		return -1
+	}
+	return t.items[len(t.items)-1].Score
+}
+
+// results returns the answers, best first.
+func (t *topK) results() []Answer { return t.items }

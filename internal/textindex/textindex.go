@@ -1,0 +1,199 @@
+// Package textindex provides the full-text indexing substrate for keyword
+// search. The paper built its term index with Apache Lucene; this package
+// implements the equivalent from scratch: a tokenizer, an inverted index
+// from terms to posting lists over graph nodes, and the per-relation
+// statistics (document frequency, tuple counts, average text length) that
+// the IR-style baseline scorers (DISCOVER2 and SPARK, §II-B) require.
+package textindex
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"cirank/internal/graph"
+)
+
+// Tokenize splits text into lowercase alphanumeric terms. It is the single
+// tokenization rule used everywhere (index construction, query parsing, node
+// word counts), so that |v|, |v ∩ Q| and tf statistics are all measured in
+// the same units.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	})
+}
+
+// WordCount reports the number of tokens in text, i.e. |v| in the paper's
+// message-generation formula.
+func WordCount(text string) int { return len(Tokenize(text)) }
+
+// Posting records that a term occurs TF times in the text of node Node.
+type Posting struct {
+	Node graph.NodeID
+	TF   int
+}
+
+// relationStats aggregates per-relation statistics used by the IR scorers.
+type relationStats struct {
+	tuples   int // N_Rel: number of tuples in the relation
+	totalLen int // total word count, for avg dl
+}
+
+// Index is an immutable inverted index over the text of a graph's nodes.
+type Index struct {
+	postings map[string][]Posting      // term → postings sorted by node
+	df       map[string]map[string]int // term → relation → document frequency
+	rels     map[string]*relationStats // relation → stats
+	nodeLen  []int                     // node → word count
+}
+
+// Build indexes every node of g.
+func Build(g *graph.Graph) *Index {
+	ix := &Index{
+		postings: make(map[string][]Posting),
+		df:       make(map[string]map[string]int),
+		rels:     make(map[string]*relationStats),
+		nodeLen:  make([]int, g.NumNodes()),
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		node := g.Node(id)
+		terms := Tokenize(node.Text)
+		ix.nodeLen[i] = len(terms)
+		rs := ix.rels[node.Relation]
+		if rs == nil {
+			rs = &relationStats{}
+			ix.rels[node.Relation] = rs
+		}
+		rs.tuples++
+		rs.totalLen += len(terms)
+		counts := make(map[string]int, len(terms))
+		for _, t := range terms {
+			counts[t]++
+		}
+		for t, c := range counts {
+			ix.postings[t] = append(ix.postings[t], Posting{Node: id, TF: c})
+			byRel := ix.df[t]
+			if byRel == nil {
+				byRel = make(map[string]int, 2)
+				ix.df[t] = byRel
+			}
+			byRel[node.Relation]++
+		}
+	}
+	// Nodes are visited in increasing ID order, so each posting list is
+	// already sorted; assert cheaply in case that ever changes.
+	for _, ps := range ix.postings {
+		if !sort.SliceIsSorted(ps, func(a, b int) bool { return ps[a].Node < ps[b].Node }) {
+			sort.Slice(ps, func(a, b int) bool { return ps[a].Node < ps[b].Node })
+		}
+	}
+	return ix
+}
+
+// Postings returns the posting list for term (lowercased exact match),
+// sorted by node ID. The returned slice aliases internal storage.
+func (ix *Index) Postings(term string) []Posting {
+	return ix.postings[strings.ToLower(term)]
+}
+
+// MatchingNodes returns the IDs of all nodes containing term — the non-free
+// node set E_n(k) of Definition 2.
+func (ix *Index) MatchingNodes(term string) []graph.NodeID {
+	ps := ix.Postings(term)
+	out := make([]graph.NodeID, len(ps))
+	for i, p := range ps {
+		out[i] = p.Node
+	}
+	return out
+}
+
+// TF reports the number of occurrences of term in node id's text.
+func (ix *Index) TF(id graph.NodeID, term string) int {
+	ps := ix.Postings(term)
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Node >= id })
+	if i < len(ps) && ps[i].Node == id {
+		return ps[i].TF
+	}
+	return 0
+}
+
+// DF reports the number of tuples of relation rel containing term, the
+// df_k(Rel(v)) statistic in the DISCOVER2 scoring function.
+func (ix *Index) DF(term, rel string) int {
+	return ix.df[strings.ToLower(term)][rel]
+}
+
+// DFTotal reports the number of nodes containing term across all relations.
+func (ix *Index) DFTotal(term string) int {
+	return len(ix.Postings(term))
+}
+
+// RelationTuples reports the number of tuples in relation rel (N_Rel).
+func (ix *Index) RelationTuples(rel string) int {
+	if rs := ix.rels[rel]; rs != nil {
+		return rs.tuples
+	}
+	return 0
+}
+
+// RelationAvgLen reports the average text length, in words, of tuples in
+// relation rel (avdl).
+func (ix *Index) RelationAvgLen(rel string) float64 {
+	rs := ix.rels[rel]
+	if rs == nil || rs.tuples == 0 {
+		return 0
+	}
+	return float64(rs.totalLen) / float64(rs.tuples)
+}
+
+// Relations lists the indexed relation names in sorted order.
+func (ix *Index) Relations() []string {
+	out := make([]string, 0, len(ix.rels))
+	for r := range ix.rels {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeLen reports the word count of node id's text, |v|.
+func (ix *Index) NodeLen(id graph.NodeID) int { return ix.nodeLen[id] }
+
+// QueryMatchCount reports |v ∩ Q|: the number of word occurrences in node
+// id's text that match any query term. Following the paper's definition
+// ("how many words in the node v_i match the query Q"), it counts
+// occurrences, so a node mentioning a query term twice counts it twice.
+// Duplicate query terms are counted once.
+func (ix *Index) QueryMatchCount(id graph.NodeID, queryTerms []string) int {
+	total := 0
+	seen := make(map[string]bool, len(queryTerms))
+	for _, t := range queryTerms {
+		t = strings.ToLower(t)
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		total += ix.TF(id, t)
+	}
+	return total
+}
+
+// MatchedTerms returns the subset of queryTerms present in node id's text,
+// deduplicated and in query order.
+func (ix *Index) MatchedTerms(id graph.NodeID, queryTerms []string) []string {
+	var out []string
+	seen := make(map[string]bool, len(queryTerms))
+	for _, t := range queryTerms {
+		lt := strings.ToLower(t)
+		if seen[lt] {
+			continue
+		}
+		seen[lt] = true
+		if ix.TF(id, lt) > 0 {
+			out = append(out, lt)
+		}
+	}
+	return out
+}

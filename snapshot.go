@@ -1,0 +1,150 @@
+package cirank
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cirank/internal/graph"
+	"cirank/internal/pathindex"
+	"cirank/internal/rwmp"
+	"cirank/internal/search"
+	"cirank/internal/textindex"
+)
+
+// Engine snapshots persist the expensive build products — the data graph,
+// the converged importance vector and the star index — so a process restart
+// skips regenerating and re-solving them. The text index and RWMP model are
+// cheap and rebuilt on load.
+//
+//	magic "CIEN" | version u32 | alpha f64 | group f64
+//	graph (graph format) | importance ([]f64) | hasIndex u8 | star index
+//
+// One limitation: tuples merged into a single entity node are reloaded
+// under the surviving node's table and key only; Importance lookups for the
+// merged-away role keys resolve to nothing after a reload.
+
+const (
+	engineMagic   = "CIEN"
+	engineVersion = 1
+)
+
+// Save writes a snapshot of the engine.
+func (e *Engine) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(engineMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], engineVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], math.Float64bits(e.model.Params().Alpha))
+	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(e.model.Params().Group))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := e.g.WriteTo(bw); err != nil {
+		return err
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(len(e.imp)))
+	if _, err := bw.Write(count[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range e.imp {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if e.starIdx == nil {
+		if err := bw.WriteByte(0); err != nil {
+			return err
+		}
+	} else {
+		if err := bw.WriteByte(1); err != nil {
+			return err
+		}
+		if _, err := e.starIdx.WriteTo(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadEngine reconstructs an engine from a snapshot written by Save.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("cirank: reading snapshot magic: %w", err)
+	}
+	if string(magic) != engineMagic {
+		return nil, fmt.Errorf("cirank: bad snapshot magic %q", magic)
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("cirank: reading snapshot header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != engineVersion {
+		return nil, fmt.Errorf("cirank: unsupported snapshot version %d", v)
+	}
+	alpha := math.Float64frombits(binary.LittleEndian.Uint64(hdr[4:]))
+	group := math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:]))
+	g, err := graph.Read(br)
+	if err != nil {
+		return nil, fmt.Errorf("cirank: reading snapshot graph: %w", err)
+	}
+	var count [8]byte
+	if _, err := io.ReadFull(br, count[:]); err != nil {
+		return nil, fmt.Errorf("cirank: reading importance count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(count[:])
+	if int(n) != g.NumNodes() {
+		return nil, fmt.Errorf("cirank: snapshot has %d importance values for %d nodes", n, g.NumNodes())
+	}
+	imp := make([]float64, n)
+	buf := make([]byte, 8)
+	for i := range imp {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("cirank: reading importance: %w", err)
+		}
+		imp[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	hasIdx, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("cirank: reading index flag: %w", err)
+	}
+	var starIdx *pathindex.StarIndex
+	if hasIdx == 1 {
+		starIdx, err = pathindex.ReadStar(br, g)
+		if err != nil {
+			return nil, fmt.Errorf("cirank: reading star index: %w", err)
+		}
+	}
+	ix := textindex.Build(g)
+	model, err := rwmp.New(g, ix, imp, rwmp.Params{Alpha: alpha, Group: group})
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the tuple lookup from the graph's node records.
+	byKey := make(map[string]graph.NodeID, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		node := g.Node(graph.NodeID(v))
+		byKey[node.Relation+"\x00"+node.Key] = graph.NodeID(v)
+	}
+	return &Engine{
+		g:        g,
+		ix:       ix,
+		model:    model,
+		searcher: search.New(model),
+		starIdx:  starIdx,
+		imp:      imp,
+		lookup: func(table, key string) (graph.NodeID, bool) {
+			id, ok := byKey[table+"\x00"+key]
+			return id, ok
+		},
+	}, nil
+}
