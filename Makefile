@@ -1,0 +1,32 @@
+# Standard entry points; CI (.github/workflows/ci.yml) runs build+vet+lint+race.
+GO ?= go
+
+.PHONY: all build test race vet lint bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the concurrency tests
+# (concurrency_test.go, internal/search/parallel_test.go, the cache tests)
+# are written to put load on every shared structure.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint enforces the documentation contract: every exported identifier in
+# the search, rwmp, pathindex and cache packages must carry a doc comment.
+lint:
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache
+
+# bench runs the paper-figure benchmarks plus the parallel/caching grid.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+check: build vet lint race

@@ -61,6 +61,21 @@ type Config struct {
 	// users clicked — the paper's user-preference adaptation (§VI-A,
 	// §VIII). 0 disables feedback biasing even if feedback was recorded.
 	FeedbackMix float64
+	// Workers sets how many goroutines each query fans candidate-tree
+	// evaluation (RWMP scoring and branch-and-bound bounds) across.
+	// 0 means auto — one worker per available CPU (GOMAXPROCS); 1 forces
+	// the sequential path. The ranked results are identical for every
+	// worker count (certified by the determinism tests); only throughput
+	// changes.
+	Workers int
+	// CacheSize bounds the engine's two query-path memo caches: the RWMP
+	// score cache (entries keyed by canonical tree + query, shared across
+	// queries) and the path-index bound cache (entries keyed by node
+	// pair). 0 means the defaults (rwmp.DefaultScoreCacheSize and
+	// pathindex.DefaultBoundCacheSize); a negative value disables both
+	// caches. Cache hits are provably equivalent to recomputation, so
+	// results never depend on this knob.
+	CacheSize int
 }
 
 // DefaultConfig returns the paper's configuration with a star index deep
@@ -121,7 +136,9 @@ type Result struct {
 }
 
 // Engine is an immutable, query-ready CI-Rank instance. It is safe for
-// concurrent use.
+// concurrent use: any number of goroutines may call Search and the other
+// query methods simultaneously (the shared score and bound caches are
+// internally synchronized).
 type Engine struct {
 	g        *graph.Graph
 	ix       *textindex.Index
@@ -130,6 +147,31 @@ type Engine struct {
 	starIdx  *pathindex.StarIndex
 	imp      []float64
 	lookup   lookupFunc
+	workers  int
+	// scores and cachedIdx are the engine-lifetime memo caches (nil when
+	// Config.CacheSize < 0).
+	scores    *rwmp.ScoreCache
+	cachedIdx *pathindex.CachedIndex
+}
+
+// CacheStats reports cumulative hit/miss counts of the engine's query-path
+// caches, for capacity tuning and observability.
+type CacheStats struct {
+	ScoreHits, ScoreMisses int64
+	BoundHits, BoundMisses int64
+}
+
+// CacheStats returns the engine's cache counters since construction. All
+// zeros when caching is disabled (Config.CacheSize < 0).
+func (e *Engine) CacheStats() CacheStats {
+	var cs CacheStats
+	if e.scores != nil {
+		cs.ScoreHits, cs.ScoreMisses = e.scores.Stats()
+	}
+	if e.cachedIdx != nil {
+		cs.BoundHits, cs.BoundMisses = e.cachedIdx.Stats()
+	}
+	return cs
 }
 
 // Search tokenizes the query string and returns the top-k answers. AND
@@ -148,6 +190,8 @@ func (e *Engine) SearchTerms(terms []string, k int, opts SearchOptions) ([]Resul
 		K:             k,
 		Diameter:      opts.Diameter,
 		MaxExpansions: opts.MaxExpansions,
+		Workers:       e.workers,
+		Scores:        e.scores,
 	}
 	if sopts.Diameter == 0 {
 		sopts.Diameter = 4
@@ -159,7 +203,11 @@ func (e *Engine) SearchTerms(terms []string, k int, opts SearchOptions) ([]Resul
 		sopts.MaxExpansions = 0
 	}
 	if e.starIdx != nil && !opts.DisableIndex && sopts.Diameter <= e.starIdx.MaxDepth() {
-		sopts.Index = e.starIdx
+		if e.cachedIdx != nil {
+			sopts.Index = e.cachedIdx
+		} else {
+			sopts.Index = e.starIdx
+		}
 	}
 	answers, _, err := e.searcher.TopK(terms, sopts)
 	if err != nil {
@@ -230,6 +278,9 @@ type lookupFunc func(table, key string) (graph.NodeID, bool)
 // buildEngine assembles an Engine from prepared parts.
 func buildEngine(g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Config, feedback map[graph.NodeID]float64) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("cirank: negative Config.Workers %d", cfg.Workers)
+	}
 	ix := textindex.Build(g)
 	prOpts := pagerank.DefaultOptions()
 	prOpts.Teleport = cfg.Teleport
@@ -252,6 +303,10 @@ func buildEngine(g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Conf
 		searcher: search.New(model),
 		imp:      pr.Scores,
 		lookup:   func(table, key string) (graph.NodeID, bool) { return mp.NodeOf(table, key) },
+		workers:  cfg.Workers,
+	}
+	if cfg.CacheSize >= 0 {
+		e.scores = rwmp.NewScoreCache(model, cfg.CacheSize)
 	}
 	if cfg.IndexDepth > 0 {
 		damp := make([]float64, g.NumNodes())
@@ -266,6 +321,9 @@ func buildEngine(g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Conf
 			e.starIdx = nil
 		} else {
 			e.starIdx = idx
+			if cfg.CacheSize >= 0 {
+				e.cachedIdx = pathindex.NewCached(idx, cfg.CacheSize)
+			}
 		}
 	}
 	return e, nil

@@ -18,6 +18,7 @@ import (
 	"cirank/internal/datagen"
 	"cirank/internal/experiments"
 	"cirank/internal/graph"
+	"cirank/internal/rwmp"
 	"cirank/internal/search"
 	"cirank/internal/textindex"
 )
@@ -33,6 +34,8 @@ func main() {
 		noIndex = flag.Bool("noindex", false, "disable the star index")
 		suggest = flag.Int("suggest", 3, "print this many example queries on startup")
 		dotFile = flag.String("dot", "", "write the top answer of each query to this Graphviz file")
+		workers = flag.Int("workers", 0, "goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
+		noCache = flag.Bool("nocache", false, "disable the RWMP score cache")
 	)
 	flag.Parse()
 
@@ -55,7 +58,10 @@ func main() {
 		fail(err)
 	}
 	s := search.New(m)
-	opts := search.Options{K: *k, Diameter: *diam, MaxExpansions: 200000}
+	opts := search.Options{K: *k, Diameter: *diam, MaxExpansions: 200000, Workers: *workers}
+	if !*noCache {
+		opts.Scores = rwmp.NewScoreCache(m, 0)
+	}
 	if !*noIndex {
 		idx, err := bundle.StarIndex(m, *diam)
 		if err != nil {

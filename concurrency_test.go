@@ -1,0 +1,141 @@
+package cirank
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// concurrencyEngine builds a moderately connected DBLP-style engine with the
+// parallel/caching knobs on.
+func concurrencyEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	b := NewDBLPBuilder()
+	for i := 0; i < 40; i++ {
+		b.MustInsert("Author", fmt.Sprintf("a%d", i), fmt.Sprintf("author number%d", i))
+	}
+	for i := 0; i < 90; i++ {
+		key := fmt.Sprintf("p%d", i)
+		b.MustInsert("Paper", key, fmt.Sprintf("paper title number%d", i))
+		b.MustRelate("written_by", key, fmt.Sprintf("a%d", i%40))
+		b.MustRelate("written_by", key, fmt.Sprintf("a%d", (i+7)%40))
+		if i > 0 {
+			b.MustRelate("cites", key, fmt.Sprintf("p%d", i/2))
+		}
+	}
+	eng, err := b.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestEngineSearchConcurrent exercises the documented Engine contract —
+// Search is safe for concurrent use — under the parallel evaluator and the
+// shared score/bound caches. Run with -race (the CI workflow and `make
+// race` do) this is the synchronization certificate; in any mode it also
+// checks all goroutines observe identical rankings.
+func TestEngineSearchConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	eng := concurrencyEngine(t, cfg)
+	queries := []string{
+		"number3 number10",
+		"number1 number2",
+		"author paper",
+		"number5",
+	}
+	reference := make([][]Result, len(queries))
+	for i, q := range queries {
+		res, err := eng.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference[i] = res
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				res, err := eng.Search(q, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res) != len(reference[i]) {
+					errs <- fmt.Errorf("query %q: %d results, want %d", q, len(res), len(reference[i]))
+					return
+				}
+				for j := range res {
+					if res[j].Score != reference[i][j].Score {
+						errs <- fmt.Errorf("query %q rank %d: score %v, want %v",
+							q, j, res[j].Score, reference[i][j].Score)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	cs := eng.CacheStats()
+	if cs.ScoreHits == 0 {
+		t.Errorf("repeated identical queries produced no score-cache hits: %+v", cs)
+	}
+}
+
+// TestCacheDisabled checks the CacheSize < 0 escape hatch still searches
+// correctly and reports idle caches.
+func TestCacheDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheSize = -1
+	cfg.Workers = 2
+	eng := concurrencyEngine(t, cfg)
+	res, err := eng.Search("number3 number10", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results with caching disabled")
+	}
+	if cs := eng.CacheStats(); cs != (CacheStats{}) {
+		t.Errorf("disabled caches reported activity: %+v", cs)
+	}
+}
+
+// TestWorkerCountsAgreeEndToEnd pins the public API to the determinism
+// guarantee: the same engine data searched with Workers 1, 2 and 8 must
+// return identical rankings and scores.
+func TestWorkerCountsAgreeEndToEnd(t *testing.T) {
+	var reference []Result
+	for _, workers := range []int{1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		eng := concurrencyEngine(t, cfg)
+		res, err := eng.Search("number3 number10", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reference == nil {
+			reference = res
+			continue
+		}
+		if len(res) != len(reference) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res), len(reference))
+		}
+		for j := range res {
+			if res[j].Score != reference[j].Score {
+				t.Errorf("workers=%d rank %d: score %v, want %v", workers, j, res[j].Score, reference[j].Score)
+			}
+			if fmt.Sprint(res[j].Rows) != fmt.Sprint(reference[j].Rows) {
+				t.Errorf("workers=%d rank %d: rows differ", workers, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package pathindex
+
+import (
+	"cirank/internal/cache"
+	"cirank/internal/graph"
+)
+
+// CachedIndex wraps an Index with a bounded LRU memo for both lookup kinds.
+// The star index (§V-B) answers lookups involving non-star nodes by
+// expanding over their neighbours — case 3 expands two neighbour sets — and
+// the branch-and-bound bounds (§IV-B) issue the same (node, root) lookups
+// for every candidate sharing a root, so memoising the expansion is the
+// online complement to the offline index.
+//
+// A hit is provably equivalent to recomputation: the wrapped Index is
+// immutable (both paper indexes are built offline and never updated), and
+// both lookups are pure functions of the node pair, so the cached value is
+// exactly what the wrapped index would return.
+//
+// CachedIndex is safe for concurrent use provided the wrapped Index is
+// (both NaiveIndex and StarIndex are: they are immutable after build).
+type CachedIndex struct {
+	inner Index
+	dist  *cache.LRU[pairKey, int]
+	ret   *cache.LRU[pairKey, float64]
+}
+
+// pairKey packs an ordered node pair into one comparable word.
+type pairKey uint64
+
+func pack(u, v graph.NodeID) pairKey {
+	return pairKey(uint64(uint32(u))<<32 | uint64(uint32(v)))
+}
+
+// DefaultBoundCacheSize is the per-table entry bound used when callers pass
+// a non-positive size to NewCached.
+const DefaultBoundCacheSize = 1 << 16
+
+// NewCached wraps inner with LRU memos of at most size entries per lookup
+// kind; size <= 0 selects DefaultBoundCacheSize.
+func NewCached(inner Index, size int) *CachedIndex {
+	if size <= 0 {
+		size = DefaultBoundCacheSize
+	}
+	return &CachedIndex{
+		inner: inner,
+		dist:  cache.New[pairKey, int](size),
+		ret:   cache.New[pairKey, float64](size),
+	}
+}
+
+// Inner returns the wrapped index.
+func (c *CachedIndex) Inner() Index { return c.inner }
+
+// DistanceLB implements Index by memoising the wrapped index's bound.
+func (c *CachedIndex) DistanceLB(u, v graph.NodeID) int {
+	return c.dist.GetOrCompute(pack(u, v), func() int { return c.inner.DistanceLB(u, v) })
+}
+
+// RetentionUB implements Index by memoising the wrapped index's bound.
+func (c *CachedIndex) RetentionUB(u, v graph.NodeID) float64 {
+	return c.ret.GetOrCompute(pack(u, v), func() float64 { return c.inner.RetentionUB(u, v) })
+}
+
+// Stats reports cumulative (hits, misses) summed over both memo tables.
+func (c *CachedIndex) Stats() (hits, misses int64) {
+	dh, dm := c.dist.Stats()
+	rh, rm := c.ret.Stats()
+	return dh + rh, dm + rm
+}

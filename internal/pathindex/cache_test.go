@@ -1,0 +1,91 @@
+package pathindex
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cirank/internal/graph"
+)
+
+// TestCachedIndexMatchesInner certifies the hit-equals-recomputation
+// contract on random star indexes: every lookup, repeated so the second
+// round is all hits, must match the wrapped index bit-for-bit.
+func TestCachedIndexMatchesInner(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g, isStar := randomBipartite(rng, 4, 8, 24)
+		damp := randomDamp(rng, g.NumNodes())
+		inner, err := BuildStar(g, damp, isStar, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCached(inner, 1024)
+		for round := 0; round < 2; round++ {
+			for u := 0; u < g.NumNodes(); u++ {
+				for v := 0; v < g.NumNodes(); v++ {
+					uu, vv := graph.NodeID(u), graph.NodeID(v)
+					if got, want := c.DistanceLB(uu, vv), inner.DistanceLB(uu, vv); got != want {
+						t.Fatalf("trial %d: DistanceLB(%d,%d) = %d, want %d", trial, u, v, got, want)
+					}
+					if got, want := c.RetentionUB(uu, vv), inner.RetentionUB(uu, vv); got != want {
+						t.Fatalf("trial %d: RetentionUB(%d,%d) = %v, want %v", trial, u, v, got, want)
+					}
+				}
+			}
+		}
+		if hits, misses := c.Stats(); hits == 0 || misses == 0 {
+			t.Errorf("trial %d: expected hits and misses, got %d/%d", trial, hits, misses)
+		}
+	}
+}
+
+// TestCachedIndexConcurrent hammers one cached index from many goroutines;
+// run under -race this certifies the concurrency contract the parallel
+// search relies on.
+func TestCachedIndexConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, isStar := randomBipartite(rng, 4, 10, 30)
+	damp := randomDamp(rng, g.NumNodes())
+	inner, err := BuildStar(g, damp, isStar, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(inner, 32)
+	n := g.NumNodes()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				u, v := graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))
+				if got, want := c.DistanceLB(u, v), inner.DistanceLB(u, v); got != want {
+					t.Errorf("DistanceLB(%d,%d) = %d, want %d", u, v, got, want)
+					return
+				}
+				if got, want := c.RetentionUB(u, v), inner.RetentionUB(u, v); got != want {
+					t.Errorf("RetentionUB(%d,%d) = %v, want %v", u, v, got, want)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// TestPackDistinguishesPairs guards the key packing against collisions
+// between (u,v) and (v,u) and across node values.
+func TestPackDistinguishesPairs(t *testing.T) {
+	seen := make(map[pairKey][2]graph.NodeID)
+	for u := graph.NodeID(0); u < 50; u++ {
+		for v := graph.NodeID(0); v < 50; v++ {
+			k := pack(u, v)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("pack collision: (%d,%d) and (%d,%d)", u, v, prev[0], prev[1])
+			}
+			seen[k] = [2]graph.NodeID{u, v}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package rwmp
+
+import (
+	"strings"
+
+	"cirank/internal/cache"
+	"cirank/internal/graph"
+	"cirank/internal/jtt"
+)
+
+// ScoreCache memoises Eq. 4 tree scores across candidates and queries. It is
+// an implementation-side optimisation (not paper machinery): the search
+// algorithms of §IV repeatedly score structurally identical trees — the
+// branch-and-bound generates the same answer under several rootings, the
+// naive algorithm emits duplicates by construction, and real query streams
+// repeat — and Eq. 2–4 are pure functions of the tree structure and the
+// query, so memoisation is exact.
+//
+// Soundness of a hit: the cache key is the tree's canonical key (its
+// undirected node and edge sets, which in the immutable data graph determine
+// every directed weight, split denominator, and tree path the score reads)
+// concatenated with the normalized query terms (which determine the non-free
+// sources and their generation counts). Two trees with equal keys therefore
+// have equal ScoreTree values, so a hit is provably equivalent to
+// recomputation. Note the root is deliberately NOT part of the key: Eq. 2–4
+// read only undirected tree paths and neighbour sets, so re-rootings of one
+// tree share a single cache line — a genuine saving, since the search must
+// explore every rooting.
+//
+// A ScoreCache is bound to the Model it was created from and is safe for
+// concurrent use by any number of search workers.
+type ScoreCache struct {
+	m   *Model
+	lru *cache.LRU[string, float64]
+}
+
+// DefaultScoreCacheSize is the entry bound used when callers pass a
+// non-positive size to NewScoreCache.
+const DefaultScoreCacheSize = 1 << 15
+
+// NewScoreCache returns a cache over m holding at most size entries;
+// size <= 0 selects DefaultScoreCacheSize.
+func NewScoreCache(m *Model, size int) *ScoreCache {
+	if size <= 0 {
+		size = DefaultScoreCacheSize
+	}
+	return &ScoreCache{m: m, lru: cache.New[string, float64](size)}
+}
+
+// Model returns the model whose scores the cache memoises.
+func (c *ScoreCache) Model() *Model { return c.m }
+
+// Stats reports cumulative cache hits and misses.
+func (c *ScoreCache) Stats() (hits, misses int64) { return c.lru.Stats() }
+
+// Len reports the number of memoised scores.
+func (c *ScoreCache) Len() int { return c.lru.Len() }
+
+// key builds the memoisation key for (tree, query).
+func key(t *jtt.Tree, queryTerms []string) string {
+	var sb strings.Builder
+	k := t.CanonicalKey()
+	sb.Grow(len(k) + 16)
+	sb.WriteString(k)
+	for _, term := range queryTerms {
+		sb.WriteByte('\x00')
+		sb.WriteString(term)
+	}
+	return sb.String()
+}
+
+// ScoreTree returns Model.ScoreTree(t, sources, queryTerms), from cache when
+// the (tree, query) pair was scored before. As with Model.ScoreTree, sources
+// must be exactly the non-free nodes of t for the query; they are derived
+// from the key's two components, which is why they do not appear in it.
+func (c *ScoreCache) ScoreTree(t *jtt.Tree, sources []graph.NodeID, queryTerms []string) float64 {
+	if c == nil {
+		panic("rwmp: ScoreTree on nil ScoreCache")
+	}
+	return c.lru.GetOrCompute(key(t, queryTerms), func() float64 {
+		return c.m.ScoreTree(t, sources, queryTerms)
+	})
+}

@@ -1,0 +1,107 @@
+package rwmp
+
+import (
+	"math/rand"
+	"testing"
+
+	"cirank/internal/graph"
+	"cirank/internal/jtt"
+)
+
+// chainFixture builds a path graph 0–1–…–n-1 whose even nodes match "even"
+// and odd nodes match "odd".
+func chainFixture(t *testing.T, n int) *fixture {
+	texts := make([]string, n)
+	imp := make([]float64, n)
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			texts[i] = "even node"
+		} else {
+			texts[i] = "odd node"
+		}
+		imp[i] = float64(1 + i%5)
+		if i > 0 {
+			edges = append(edges, [2]int{i - 1, i})
+		}
+	}
+	return build(t, texts, imp, edges, DefaultParams())
+}
+
+// randomSubpath picks a random subpath of the chain as a tree rooted at a
+// random internal node.
+func randomSubpath(rng *rand.Rand, n int) *jtt.Tree {
+	lo := rng.Intn(n - 1)
+	hi := lo + 1 + rng.Intn(n-lo-1)
+	root := lo + rng.Intn(hi-lo+1)
+	tr := jtt.NewSingle(graph.NodeID(root))
+	for v := root - 1; v >= lo; v-- {
+		tr = tr.MustAttach(graph.NodeID(v), graph.NodeID(v+1))
+	}
+	for v := root + 1; v <= hi; v++ {
+		tr = tr.MustAttach(graph.NodeID(v), graph.NodeID(v-1))
+	}
+	return tr
+}
+
+// TestScoreCacheMatchesModel certifies the cache-hit-equals-recomputation
+// contract: for hundreds of random trees and both query variants, the cached
+// score is bit-identical to the direct Model.ScoreTree value — including on
+// hits (every tree is scored twice).
+func TestScoreCacheMatchesModel(t *testing.T) {
+	fx := chainFixture(t, 12)
+	c := NewScoreCache(fx.m, 64)
+	rng := rand.New(rand.NewSource(7))
+	queries := [][]string{{"even"}, {"odd"}, {"even", "odd"}}
+	for i := 0; i < 300; i++ {
+		tr := randomSubpath(rng, 12)
+		terms := queries[rng.Intn(len(queries))]
+		sources := fx.m.SourcesIn(tr, terms)
+		want := fx.m.ScoreTree(tr, sources, terms)
+		if got := c.ScoreTree(tr, sources, terms); got != want {
+			t.Fatalf("iteration %d: cached %v != direct %v (tree %s, terms %v)",
+				i, got, want, tr.CanonicalKey(), terms)
+		}
+		if got := c.ScoreTree(tr, sources, terms); got != want {
+			t.Fatalf("iteration %d: second (hit) lookup %v != %v", i, got, want)
+		}
+	}
+	if hits, misses := c.Stats(); hits == 0 || misses == 0 {
+		t.Errorf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+}
+
+// TestScoreCacheSharedAcrossRootings verifies the key design point that
+// re-rootings of one tree share a cache line: Eq. 2–4 read only undirected
+// structure, so the score must not depend on the root.
+func TestScoreCacheSharedAcrossRootings(t *testing.T) {
+	fx := chainFixture(t, 6)
+	c := NewScoreCache(fx.m, 16)
+	terms := []string{"even", "odd"}
+	base := randomSubpath(rand.New(rand.NewSource(3)), 6)
+	sources := fx.m.SourcesIn(base, terms)
+	want := c.ScoreTree(base, sources, terms)
+	for _, v := range base.Nodes() {
+		re := base.Reroot(v)
+		if got := c.ScoreTree(re, fx.m.SourcesIn(re, terms), terms); got != want {
+			t.Errorf("rooting at %d scored %v, want %v", v, got, want)
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Errorf("re-rootings caused %d misses, want 1", misses)
+	}
+}
+
+// TestScoreCacheBounded checks the LRU actually evicts.
+func TestScoreCacheBounded(t *testing.T) {
+	fx := chainFixture(t, 12)
+	c := NewScoreCache(fx.m, 8)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		tr := randomSubpath(rng, 12)
+		c.ScoreTree(tr, fx.m.SourcesIn(tr, []string{"even"}), []string{"even"})
+	}
+	if c.Len() > 8 {
+		t.Errorf("cache holds %d entries, capacity 8", c.Len())
+	}
+}

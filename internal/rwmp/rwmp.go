@@ -38,7 +38,9 @@ import (
 // the number of listeners g per talk. The paper's defaults, chosen in its
 // Fig. 6/7 sweeps, are α = 0.15 and g = 20.
 type Params struct {
+	// Alpha is α, the per-talk message-retention probability.
 	Alpha float64
+	// Group is g, the number of listeners reached by one talk.
 	Group float64
 }
 

@@ -8,13 +8,21 @@ import (
 	"cirank/internal/jtt"
 )
 
-// candidate is a tree in the branch-and-bound frontier.
+// candidate is a tree in the branch-and-bound frontier, together with the
+// evaluation products (cover, sources, bound, score) the engine computes for
+// it. Evaluation (fill) is pure and may run on any worker goroutine; the seq
+// field is assigned later, at commit time, on the coordinating goroutine.
 type candidate struct {
 	tree    *jtt.Tree
+	key     string // canonical key + root tag, the dedup identity
 	cover   uint64
 	sources []graph.NodeID
 	ub      float64
-	seq     int // insertion order, for deterministic tie-breaking
+	seq     int // commit order, for deterministic queue tie-breaking
+
+	// score and complete are set when the tree is a valid complete answer.
+	score    float64
+	complete bool
 }
 
 // candidateQueue is a max-heap on upper bound.
@@ -37,11 +45,20 @@ func (q *candidateQueue) Pop() interface{} {
 	return c
 }
 
-// bbState carries the mutable state of one branch-and-bound run.
+// expandBatch is the number of frontier candidates popped per round. Batching
+// keeps the evaluation workers fed; it is a fixed constant (not derived from
+// the worker count) so that every worker count walks the same batch
+// structure and produces identical Stats, not just identical rankings.
+const expandBatch = 32
+
+// bbState carries the state of one branch-and-bound run. The maps, queue,
+// top-k and stats are touched only by the coordinating goroutine; workers
+// see the state read-only through fill (see parallel.go for the contract).
 type bbState struct {
 	s      *Searcher
 	qc     *queryContext
 	opts   Options
+	nw     int // resolved worker count
 	pq     candidateQueue
 	seen   map[string]bool // canonical keys of generated candidates
 	byRoot map[graph.NodeID][]*candidate
@@ -50,13 +67,25 @@ type bbState struct {
 	seq    int
 }
 
-// TopK runs the branch-and-bound search of Algorithm 1 and returns the
-// top-k answers in descending score order. The result is optimal
-// (Theorem 1): no valid answer tree within the diameter limit scores higher
-// than the k-th returned answer, unless Stats.Truncated reports an early
-// stop via MaxExpansions.
+// TopK runs the branch-and-bound search of Algorithm 1 (§IV-B) and returns
+// the top-k answers in descending score order (ties broken by canonical tree
+// key, so the order is a total one). The result is optimal (Theorem 1): no
+// valid answer tree within the diameter limit scores higher than the k-th
+// returned answer, unless Stats.Truncated reports an early stop via
+// MaxExpansions.
+//
+// Candidate evaluation fans out across Options.Workers goroutines; the
+// ranked answers (trees and scores) are identical for every worker count.
+// When Stats.Truncated is set the guarantee weakens to "the best answers
+// found before the cap", and because batching changes which candidates are
+// in flight when the cap fires, truncated runs may differ across worker
+// counts. TopK is safe for concurrent use: searches share only immutable
+// state (and the optional score cache, which is itself concurrency-safe).
 func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
 	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := s.checkScores(opts); err != nil {
 		return nil, Stats{}, err
 	}
 	qc, ok, err := s.prepare(terms)
@@ -66,49 +95,169 @@ func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
 	if !ok {
 		return nil, Stats{}, nil // some keyword has no match: AND semantics
 	}
+	nw := opts.workers()
 	if !opts.NoDynamicBounds {
-		qc.computeTermDistances(s.m.Graph(), opts.Diameter)
+		qc.computeTermDistances(s.m.Graph(), opts.Diameter, nw)
 	}
 	qc.maxDamp = s.m.MaxDamp()
 	st := &bbState{
 		s:      s,
 		qc:     qc,
 		opts:   opts,
+		nw:     nw,
 		seen:   make(map[string]bool),
 		byRoot: make(map[graph.NodeID][]*candidate),
 		top:    newTopK(opts.K),
 	}
-	for _, v := range qc.nonFree {
-		st.consider(jtt.NewSingle(v))
+	seeds := make([]*jtt.Tree, len(qc.nonFree))
+	for i, v := range qc.nonFree {
+		seeds[i] = jtt.NewSingle(v)
 	}
+	st.process(seeds)
 	halfD := halfDiameter(opts.Diameter)
 	for st.pq.Len() > 0 {
-		c := heap.Pop(&st.pq).(*candidate)
-		if st.top.full() && c.ub < st.top.min() {
-			break // Lemma 1: nothing better can emerge from the frontier
+		// Pop a batch of frontier candidates. Lemma 1: once the best
+		// remaining upper bound cannot beat the current k-th answer,
+		// nothing better can emerge and the search is done.
+		var batch []*candidate
+		for len(batch) < expandBatch && st.pq.Len() > 0 {
+			if st.top.full() && st.pq[0].ub < st.top.min() {
+				break
+			}
+			if st.opts.MaxExpansions > 0 && st.stats.Expanded >= st.opts.MaxExpansions {
+				st.stats.Truncated = true
+				break
+			}
+			batch = append(batch, heap.Pop(&st.pq).(*candidate))
+			st.stats.Expanded++
 		}
-		if opts.MaxExpansions > 0 && st.stats.Expanded >= opts.MaxExpansions {
-			st.stats.Truncated = true
+		if len(batch) == 0 {
 			break
 		}
-		st.stats.Expanded++
-		root := c.tree.Root()
-		for _, e := range s.m.Graph().OutEdges(root) {
-			nb := e.To
-			if c.tree.Contains(nb) {
-				continue
+		// Grow every batch candidate through its root, in deterministic
+		// (batch, edge) order. Growing is cheap; evaluating the grown trees
+		// is the expensive part, which process fans out.
+		var grown []*jtt.Tree
+		for _, c := range batch {
+			root := c.tree.Root()
+			for _, e := range s.m.Graph().OutEdges(root) {
+				nb := e.To
+				if c.tree.Contains(nb) {
+					continue
+				}
+				g, err := c.tree.Grow(s.m.Graph(), nb)
+				if err != nil {
+					continue
+				}
+				if g.Depth() > halfD {
+					continue
+				}
+				grown = append(grown, g)
 			}
-			grown, err := c.tree.Grow(s.m.Graph(), nb)
-			if err != nil {
-				continue
-			}
-			if grown.Depth() > halfD {
-				continue
-			}
-			st.consider(grown)
 		}
+		st.process(grown)
 	}
 	return st.top.results(), st.stats, nil
+}
+
+// process drives newly built trees through the evaluate/commit pipeline
+// until the merge closure is exhausted: dedupe the level, evaluate it on the
+// worker pool, commit each candidate in order (recording answers, enqueuing
+// survivors, and collecting the trees its merges produce), then recurse on
+// the collected level. Committing level-by-level instead of depth-first
+// (the pre-parallel implementation recursed) visits the same closure — every
+// candidate still merges against every earlier same-root candidate — in a
+// breadth-first order that exposes whole levels to the workers.
+func (st *bbState) process(trees []*jtt.Tree) {
+	for len(trees) > 0 {
+		var level []*candidate
+		for _, tree := range trees {
+			// The Generated cap backstops the merge closure: MaxExpansions
+			// alone bounds queue pops, but a single expansion can cascade
+			// through many merges.
+			if st.opts.MaxExpansions > 0 && st.stats.Generated >= 40*st.opts.MaxExpansions {
+				st.stats.Truncated = true
+				break
+			}
+			key := tree.CanonicalKey() + rootTag(tree)
+			if st.seen[key] {
+				continue
+			}
+			st.seen[key] = true
+			st.stats.Generated++
+			level = append(level, &candidate{tree: tree, key: key})
+		}
+		parallelFor(len(level), st.nw, func(i int) { st.fill(level[i]) })
+		trees = trees[:0:0]
+		for _, c := range level {
+			trees = append(trees, st.commit(c)...)
+		}
+	}
+}
+
+// fill computes the evaluation products of a candidate: keyword cover,
+// source set, the RWMP score when the tree is a valid complete answer, and
+// the §IV-B upper bound. fill only reads state that is immutable during the
+// search (model, query context, options, path index) plus the
+// concurrency-safe caches, so any number of fills may run concurrently.
+func (st *bbState) fill(c *candidate) {
+	c.cover = st.qc.cover(c.tree)
+	c.sources = st.qc.sourcesIn(c.tree)
+	if c.cover == st.qc.full && st.qc.validAnswer(c.tree, st.opts.Diameter) {
+		c.complete = true
+		c.score = st.s.score(st.opts, c.tree, c.sources, st.qc.terms)
+	}
+	c.ub = st.upperBound(c)
+}
+
+// commit folds one evaluated candidate into the search state: records its
+// answer (if complete), enqueues it for expansion unless pruned, and
+// attempts tree merges (Algorithm 1 lines 16–20) against every same-root
+// candidate committed before it, returning the merged trees for the caller
+// to process. Because every candidate merges against all its predecessors,
+// each unordered pair is attempted exactly once and the merge set is
+// transitively closed — a root with any number of child subtrees is
+// reachable, which Theorem 1's optimality needs.
+func (st *bbState) commit(c *candidate) []*jtt.Tree {
+	if c.complete {
+		if st.top.add(c.tree, c.score) {
+			st.stats.Answers++
+		}
+	}
+	// A zero bound means the candidate can never become a valid answer
+	// (some keyword has no feasible supplement).
+	if c.ub <= 0 {
+		return nil
+	}
+	// Commit-time pruning: if the candidate's bound cannot beat the current
+	// k-th answer it can never contribute (the k-th score only rises), so
+	// don't enqueue it, don't register it for merges, and don't close merges
+	// over it. This is what keeps the merge closure from exploding
+	// quadratically around hub roots.
+	if st.top.full() && c.ub < st.top.min() {
+		return nil
+	}
+	c.seq = st.seq
+	st.seq++
+	heap.Push(&st.pq, c)
+	root := c.tree.Root()
+	// Snapshot: trees merged from c will themselves merge against everything
+	// committed at their own commit time, including c, so iterating the
+	// pre-existing set suffices for closure.
+	others := st.byRoot[root]
+	st.byRoot[root] = append(st.byRoot[root], c)
+	var out []*jtt.Tree
+	for _, other := range others {
+		if !st.mergeAllowed(c, other) {
+			continue
+		}
+		merged, err := c.tree.Merge(other.tree)
+		if err != nil {
+			continue // overlap: the sanity check of §IV-B
+		}
+		out = append(out, merged)
+	}
+	return out
 }
 
 // mergeAllowed applies the merge admission rule. The default (the paper's
@@ -124,74 +273,6 @@ func (st *bbState) mergeAllowed(a, b *candidate) bool {
 	}
 	union := a.cover | b.cover
 	return union != a.cover && union != b.cover
-}
-
-// consider registers a newly built tree: dedupes it, computes its upper
-// bound, records complete answers, enqueues it for expansion, and attempts
-// tree merges (Algorithm 1 lines 16–20) against every same-root candidate
-// created before it. Because every candidate merges against all its
-// predecessors at creation, each unordered pair is attempted exactly once
-// and the merge set is transitively closed — a root with any number of
-// child subtrees is reachable, which Theorem 1's optimality needs.
-// It returns the candidate, or nil if the tree was already known or is
-// hopeless (zero upper bound: some keyword has no feasible supplement).
-func (st *bbState) consider(tree *jtt.Tree) *candidate {
-	// The Generated cap backstops the merge closure: MaxExpansions alone
-	// bounds queue pops, but a single expansion can cascade through many
-	// merges.
-	if st.opts.MaxExpansions > 0 && st.stats.Generated >= 40*st.opts.MaxExpansions {
-		st.stats.Truncated = true
-		return nil
-	}
-	key := tree.CanonicalKey() + rootTag(tree)
-	if st.seen[key] {
-		return nil
-	}
-	st.seen[key] = true
-	c := &candidate{
-		tree:    tree,
-		cover:   st.qc.cover(tree),
-		sources: st.qc.sourcesIn(tree),
-		seq:     st.seq,
-	}
-	st.seq++
-	st.stats.Generated++
-	if c.cover == st.qc.full && st.qc.validAnswer(tree, st.opts.Diameter) {
-		score := st.s.m.ScoreTree(tree, c.sources, st.qc.terms)
-		if st.top.add(tree, score) {
-			st.stats.Answers++
-		}
-	}
-	c.ub = st.upperBound(c)
-	if c.ub <= 0 {
-		return nil
-	}
-	// Generation-time pruning: if the candidate's bound cannot beat the
-	// current k-th answer it can never contribute (the k-th score only
-	// rises), so don't enqueue it, don't register it for merges, and don't
-	// close merges over it. This is what keeps the merge closure from
-	// exploding quadratically around hub roots.
-	if st.top.full() && c.ub < st.top.min() {
-		return nil
-	}
-	heap.Push(&st.pq, c)
-	root := tree.Root()
-	// Snapshot: candidates created during the recursive merges below will
-	// themselves merge against everything existing at their creation,
-	// including c, so iterating the pre-existing set suffices for closure.
-	others := st.byRoot[root]
-	st.byRoot[root] = append(st.byRoot[root], c)
-	for _, other := range others {
-		if !st.mergeAllowed(c, other) {
-			continue
-		}
-		merged, err := c.tree.Merge(other.tree)
-		if err != nil {
-			continue // overlap: the sanity check of §IV-B
-		}
-		st.consider(merged)
-	}
-	return c
 }
 
 // rootTag distinguishes identical trees rooted differently: both rootings

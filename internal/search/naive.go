@@ -21,8 +21,18 @@ const (
 // predecessors, followed by assembling answer trees at every node reachable
 // from a keyword-covering set of sources, scoring all of them, and keeping
 // the top k.
+//
+// With Options.Workers > 1 the scoring of enumerated trees (the dominant
+// cost) runs on a worker pool; the ranked answers are identical for every
+// worker count because the enumeration — and hence the offered answer set —
+// does not change and the top-k keeps a total order (see parallel.go). Only
+// Stats.Answers may vary across parallel runs. NaiveTopK is safe for
+// concurrent use.
 func (s *Searcher) NaiveTopK(terms []string, opts Options) ([]Answer, Stats, error) {
 	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := s.checkScores(opts); err != nil {
 		return nil, Stats{}, err
 	}
 	qc, ok, err := s.prepare(terms)
@@ -34,13 +44,22 @@ func (s *Searcher) NaiveTopK(terms []string, opts Options) ([]Answer, Stats, err
 	}
 	top := newTopK(opts.K)
 	var stats Stats
-	stats.Expanded = s.enumerateNaive(qc, opts.Diameter, func(t *jtt.Tree) {
-		stats.Generated++
-		score := s.m.ScoreTree(t, qc.sourcesIn(t), qc.terms)
-		if top.add(t, score) {
-			stats.Answers++
-		}
-	})
+	if nw := opts.workers(); nw > 1 {
+		pipe := newNaiveScorePipeline(s, opts, qc, top, nw)
+		stats.Expanded = s.enumerateNaive(qc, opts.Diameter, func(t *jtt.Tree) {
+			stats.Generated++
+			pipe.submit(t)
+		})
+		stats.Answers = pipe.close()
+	} else {
+		stats.Expanded = s.enumerateNaive(qc, opts.Diameter, func(t *jtt.Tree) {
+			stats.Generated++
+			score := s.score(opts, t, qc.sourcesIn(t), qc.terms)
+			if top.add(t, score) {
+				stats.Answers++
+			}
+		})
+	}
 	return top.results(), stats, nil
 }
 

@@ -7,6 +7,7 @@ package search
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -48,6 +49,19 @@ type Options struct {
 	// restores full completeness at exponential cost and exists for the
 	// exhaustive-oracle validation tests and the ablation benchmark.
 	ExtendedMerge bool
+	// Workers sets the number of goroutines that evaluate candidate trees
+	// (cover, sources, RWMP score, upper bound) concurrently. 0 means
+	// auto (GOMAXPROCS); 1 forces fully inline evaluation. Candidate
+	// evaluation is pure and the queue/top-k bookkeeping stays on the
+	// calling goroutine, so the ranked result is identical for every
+	// worker count (see parallel.go for the argument; the determinism
+	// tests certify it).
+	Workers int
+	// Scores optionally memoises Eq. 4 tree scores across candidates and
+	// queries. It must have been created from this searcher's model. A
+	// cache hit is provably equivalent to recomputation (see
+	// rwmp.ScoreCache), so results are unaffected.
+	Scores *rwmp.ScoreCache
 }
 
 // Validate checks the options.
@@ -61,12 +75,25 @@ func (o Options) Validate() error {
 	if o.MaxExpansions < 0 {
 		return fmt.Errorf("search: negative MaxExpansions %d", o.MaxExpansions)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("search: negative Workers %d", o.Workers)
+	}
 	return nil
+}
+
+// workers resolves Options.Workers: 0 means one worker per available CPU.
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // Answer is one ranked query answer.
 type Answer struct {
-	Tree  *jtt.Tree
+	// Tree is the joined tuple tree connecting the query keywords.
+	Tree *jtt.Tree
+	// Score is the tree's collective importance under Eq. 4.
 	Score float64
 }
 
@@ -141,11 +168,12 @@ const topSuppliersPerTerm = 4
 
 // computeTermDistances fills termDist (multi-source BFS per term) and
 // topSup (exact per-node BFS from each term's heaviest generators), both
-// bounded by horizon maxDepth.
-func (qc *queryContext) computeTermDistances(g *graph.Graph, maxDepth int) {
+// bounded by horizon maxDepth. The per-term computations are independent,
+// so they fan out across workers goroutines.
+func (qc *queryContext) computeTermDistances(g *graph.Graph, maxDepth, workers int) {
 	qc.termDist = make([][]int32, len(qc.terms))
 	qc.topSup = make([][]supplierInfo, len(qc.terms))
-	for ti := range qc.terms {
+	parallelFor(len(qc.terms), workers, func(ti int) {
 		qc.termDist[ti] = bfsDistances(g, qc.perTerm[ti], maxDepth)
 		top := qc.byGen[ti]
 		if len(top) > topSuppliersPerTerm {
@@ -158,7 +186,7 @@ func (qc *queryContext) computeTermDistances(g *graph.Graph, maxDepth int) {
 				dist: bfsDistances(g, []graph.NodeID{v}, maxDepth),
 			})
 		}
-	}
+	})
 }
 
 // bfsDistances runs a depth-bounded multi-source BFS and returns per-node
@@ -299,35 +327,56 @@ func (qc *queryContext) validAnswer(t *jtt.Tree, diameter int) bool {
 func halfDiameter(d int) int { return (d + 1) / 2 }
 
 // topK maintains the best-k answers with canonical-key deduplication.
+//
+// Entries are held in a total order — score descending, canonical key
+// ascending on ties — so the retained set and its order are exactly "the k
+// least elements under that order among all answers ever offered",
+// independent of the order they were offered in. That insertion-order
+// independence is what makes the parallel search's ranked list byte-identical
+// to the sequential one even when exact score ties occur at the k boundary.
 type topK struct {
 	k     int
 	items []Answer
+	ikeys []string // canonical key per item, parallel to items
 	keys  map[string]bool
 }
 
 func newTopK(k int) *topK { return &topK{k: k, keys: make(map[string]bool)} }
 
-// add inserts the answer unless its tree is already present. It reports
-// whether the list changed.
+// beats reports whether answer (score, key) orders strictly before item i.
+func (t *topK) beats(score float64, key string, i int) bool {
+	if score != t.items[i].Score {
+		return score > t.items[i].Score
+	}
+	return key < t.ikeys[i]
+}
+
+// add inserts the answer unless its tree is already present or orders after
+// the current k-th answer while the list is full. It reports whether the
+// list changed.
 func (t *topK) add(tree *jtt.Tree, score float64) bool {
 	key := tree.CanonicalKey()
 	if t.keys[key] {
 		return false
 	}
-	if len(t.items) == t.k && score <= t.items[len(t.items)-1].Score {
-		// Would fall off the end; remember nothing (key may reappear with
-		// the same score — dedup by key only matters inside the list).
+	if len(t.items) == t.k && !t.beats(score, key, len(t.items)-1) {
+		// Orders at or after the last slot; remember nothing (key may
+		// reappear — dedup by key only matters inside the list).
 		return false
 	}
 	t.keys[key] = true
-	pos := sort.Search(len(t.items), func(i int) bool { return t.items[i].Score < score })
+	pos := sort.Search(len(t.items), func(i int) bool { return t.beats(score, key, i) })
 	t.items = append(t.items, Answer{})
+	t.ikeys = append(t.ikeys, "")
 	copy(t.items[pos+1:], t.items[pos:])
+	copy(t.ikeys[pos+1:], t.ikeys[pos:])
 	t.items[pos] = Answer{Tree: tree, Score: score}
+	t.ikeys[pos] = key
 	if len(t.items) > t.k {
-		drop := t.items[len(t.items)-1]
-		delete(t.keys, drop.Tree.CanonicalKey())
-		t.items = t.items[:len(t.items)-1]
+		last := len(t.items) - 1
+		delete(t.keys, t.ikeys[last])
+		t.items = t.items[:last]
+		t.ikeys = t.ikeys[:last]
 	}
 	return true
 }

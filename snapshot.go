@@ -135,7 +135,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		node := g.Node(graph.NodeID(v))
 		byKey[node.Relation+"\x00"+node.Key] = graph.NodeID(v)
 	}
-	return &Engine{
+	e := &Engine{
 		g:        g,
 		ix:       ix,
 		model:    model,
@@ -146,5 +146,12 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 			id, ok := byKey[table+"\x00"+key]
 			return id, ok
 		},
-	}, nil
+	}
+	// Snapshots predate the parallel/caching knobs and carry no Config, so
+	// loaded engines get the auto defaults (Workers 0, default cache sizes).
+	e.scores = rwmp.NewScoreCache(model, 0)
+	if starIdx != nil {
+		e.cachedIdx = pathindex.NewCached(starIdx, 0)
+	}
+	return e, nil
 }
