@@ -1,7 +1,7 @@
 # Standard entry points; CI (.github/workflows/ci.yml) runs build+vet+lint+race.
 GO ?= go
 
-.PHONY: all build test race vet lint bench check
+.PHONY: all build test race vet lint bench check serve
 
 all: check
 
@@ -21,9 +21,15 @@ vet:
 	$(GO) vet ./...
 
 # lint enforces the documentation contract: every exported identifier in
-# the search, rwmp, pathindex and cache packages must carry a doc comment.
+# the search, rwmp, pathindex, cache and server packages must carry a doc
+# comment.
 lint:
-	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server
+
+# serve runs the HTTP query service on a generated DBLP dataset.
+# Try: curl 'localhost:8080/search?q=some+keywords&k=5&timeout=2s'
+serve:
+	$(GO) run ./cmd/cirank-server -dataset dblp -addr :8080
 
 # bench runs the paper-figure benchmarks plus the parallel/caching grid.
 bench:

@@ -29,7 +29,9 @@
 package cirank
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cirank/internal/graph"
 	"cirank/internal/jtt"
@@ -41,16 +43,24 @@ import (
 	"cirank/internal/textindex"
 )
 
-// Config controls engine construction. Zero values take the paper's
-// defaults where one exists.
+// Config controls engine construction. Start from DefaultConfig and adjust:
+// Alpha and Teleport have no zero sentinel — Build rejects 0 (and any
+// out-of-range value) with ErrBadConfig instead of guessing what was meant.
+// The remaining fields keep documented zero sentinels: Group 0 means the
+// paper's 20, IndexDepth 0 disables indexing, FeedbackMix 0 disables
+// feedback biasing, Workers 0 means one worker per CPU, and CacheSize 0
+// means the default cache capacities.
 type Config struct {
-	// Alpha is the message-keeping probability of the dampening function
-	// (default 0.15, the paper's chosen operating point).
+	// Alpha is the message-keeping probability of the dampening function,
+	// in (0, 1]. DefaultConfig sets the paper's operating point, 0.15.
+	// There is no zero sentinel: an explicit 0 is rejected at Build.
 	Alpha float64
 	// Group is the talk group size g of the dampening function
-	// (default 20).
+	// (0 means the paper's default, 20).
 	Group float64
-	// Teleport is the random-walk teleportation constant c (default 0.15).
+	// Teleport is the random-walk teleportation constant c, in (0, 1).
+	// DefaultConfig sets the paper's 0.15. There is no zero sentinel: an
+	// explicit 0 is rejected at Build.
 	Teleport float64
 	// IndexDepth, when positive, builds the §V-B star index with the given
 	// horizon, which speeds up searches whose diameter limit is at most
@@ -84,18 +94,33 @@ func DefaultConfig() Config {
 	return Config{Alpha: 0.15, Group: 20, Teleport: 0.15, IndexDepth: 6}
 }
 
-// withDefaults fills zero fields.
-func (c Config) withDefaults() Config {
-	if c.Alpha == 0 {
-		c.Alpha = 0.15
+// withDefaults validates the config and fills the documented zero
+// sentinels. Alpha and Teleport deliberately have none: a zero there is
+// almost always a forgotten field, and silently rewriting it to the paper
+// default used to mask the bug, so it is now rejected with ErrBadConfig.
+func (c Config) withDefaults() (Config, error) {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("%w: Alpha must be in (0, 1], got %g (start from DefaultConfig for the paper's 0.15; an explicit 0 is not rewritten)", ErrBadConfig, c.Alpha)
+	}
+	if c.Teleport <= 0 || c.Teleport >= 1 {
+		return c, fmt.Errorf("%w: Teleport must be in (0, 1), got %g (start from DefaultConfig for the paper's 0.15; an explicit 0 is not rewritten)", ErrBadConfig, c.Teleport)
+	}
+	if c.Group < 0 {
+		return c, fmt.Errorf("%w: negative Group %g", ErrBadConfig, c.Group)
 	}
 	if c.Group == 0 {
 		c.Group = 20
 	}
-	if c.Teleport == 0 {
-		c.Teleport = 0.15
+	if c.IndexDepth < 0 {
+		return c, fmt.Errorf("%w: negative IndexDepth %d", ErrBadConfig, c.IndexDepth)
 	}
-	return c
+	if c.FeedbackMix < 0 || c.FeedbackMix > 1 {
+		return c, fmt.Errorf("%w: FeedbackMix must be in [0, 1], got %g", ErrBadConfig, c.FeedbackMix)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("%w: negative Workers %d", ErrBadConfig, c.Workers)
+	}
+	return c, nil
 }
 
 // SearchOptions tune one query.
@@ -109,6 +134,18 @@ type SearchOptions struct {
 	// this search; by default an index is used whenever it exists and its
 	// horizon covers the diameter.
 	DisableIndex bool
+	// Workers overrides the engine's Config.Workers for this query:
+	// 0 keeps the engine setting, 1 forces the sequential path, higher
+	// values set the evaluation fan-out. Rankings are identical for every
+	// worker count; only throughput changes. Negative values are rejected
+	// with ErrBadOptions.
+	Workers int
+	// ExtendedMerge admits candidate-tree merges that add non-free nodes
+	// without covering new keywords, restoring full completeness for
+	// answers with three or more same-keyword subtrees under one root at
+	// (worst-case exponential) extra cost. The default follows the paper's
+	// §IV-B merge rule. See search.Options.ExtendedMerge.
+	ExtendedMerge bool
 }
 
 // Row is one tuple of a search result.
@@ -174,23 +211,92 @@ func (e *Engine) CacheStats() CacheStats {
 	return cs
 }
 
-// Search tokenizes the query string and returns the top-k answers. AND
-// semantics apply: every answer covers all query words; a query word with
-// no matching tuple yields no answers.
-func (e *Engine) Search(query string, k int) ([]Result, error) {
-	return e.SearchTerms(textindex.Tokenize(query), k, SearchOptions{})
+// SearchStats reports the work one query did, for observability and the
+// serving layer's per-query diagnostics.
+type SearchStats struct {
+	// Expanded counts candidate trees popped and expanded by the
+	// branch-and-bound loop.
+	Expanded int
+	// Generated counts candidate trees created (after dedup).
+	Generated int
+	// Answers counts complete valid answers encountered before top-k
+	// truncation.
+	Answers int
+	// Truncated reports that the MaxExpansions cap stopped the search
+	// early; the results are the best found up to the cap.
+	Truncated bool
+	// Interrupted reports that the context expired or was cancelled
+	// mid-search; the results are the best found up to that point.
+	Interrupted bool
+	// Elapsed is the query's wall-clock time inside the engine.
+	Elapsed time.Duration
 }
 
-// SearchTerms runs a query given pre-split terms and explicit options.
+// Partial reports whether the query stopped before exhausting its search
+// frontier (by cap or cancellation), so the ranking carries no optimality
+// guarantee.
+func (s SearchStats) Partial() bool { return s.Truncated || s.Interrupted }
+
+// SearchResult is a ranked answer list together with the query's stats.
+type SearchResult struct {
+	// Results are the ranked answers, best first.
+	Results []Result
+	// Stats describes the work done to produce them.
+	Stats SearchStats
+}
+
+// Search tokenizes the query string and returns the top-k answers. AND
+// semantics apply: every answer covers all query words; a query word with
+// no matching tuple yields no answers. Search is uncancellable and discards
+// the query stats; SearchContext is the full-fidelity form.
+func (e *Engine) Search(query string, k int) ([]Result, error) {
+	res, err := e.SearchContext(context.Background(), query, k)
+	return res.Results, err
+}
+
+// SearchContext tokenizes the query string and runs it under ctx with
+// default options. See SearchTermsContext for the cancellation contract.
+func (e *Engine) SearchContext(ctx context.Context, query string, k int) (SearchResult, error) {
+	return e.SearchTermsContext(ctx, textindex.Tokenize(query), k, SearchOptions{})
+}
+
+// SearchTerms runs a query given pre-split terms and explicit options. It
+// is uncancellable and discards the query stats; SearchTermsContext is the
+// full-fidelity form.
 func (e *Engine) SearchTerms(terms []string, k int, opts SearchOptions) ([]Result, error) {
+	res, err := e.SearchTermsContext(context.Background(), terms, k, opts)
+	return res.Results, err
+}
+
+// SearchTermsContext runs a query given pre-split terms and explicit
+// options, bounded by ctx. A context that is already done on entry yields
+// an error wrapping ErrDeadline (and the context's own error) with no work
+// done; a context that expires mid-search stops the query promptly at its
+// next cancellation point and returns the best answers found so far with
+// Stats.Interrupted set and a nil error. When the context never fires the
+// ranking is byte-identical to SearchTerms for every Workers setting.
+// Invalid arguments are reported through the sentinel errors ErrBadK,
+// ErrEmptyQuery and ErrBadOptions.
+func (e *Engine) SearchTermsContext(ctx context.Context, terms []string, k int, opts SearchOptions) (SearchResult, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("cirank: k must be at least 1, got %d", k)
+		return SearchResult{}, fmt.Errorf("%w (got %d)", ErrBadK, k)
+	}
+	workers := e.workers
+	switch {
+	case opts.Workers < 0:
+		return SearchResult{}, fmt.Errorf("%w: negative Workers %d", ErrBadOptions, opts.Workers)
+	case opts.Workers > 0:
+		workers = opts.Workers
+	}
+	if opts.MaxExpansions < -1 {
+		return SearchResult{}, fmt.Errorf("%w: MaxExpansions %d (use -1 to remove the cap)", ErrBadOptions, opts.MaxExpansions)
 	}
 	sopts := search.Options{
 		K:             k,
 		Diameter:      opts.Diameter,
 		MaxExpansions: opts.MaxExpansions,
-		Workers:       e.workers,
+		Workers:       workers,
+		ExtendedMerge: opts.ExtendedMerge,
 		Scores:        e.scores,
 	}
 	if sopts.Diameter == 0 {
@@ -209,15 +315,26 @@ func (e *Engine) SearchTerms(terms []string, k int, opts SearchOptions) ([]Resul
 			sopts.Index = e.starIdx
 		}
 	}
-	answers, _, err := e.searcher.TopK(terms, sopts)
+	start := time.Now()
+	answers, stats, err := e.searcher.TopKContext(ctx, terms, sopts)
 	if err != nil {
-		return nil, err
+		return SearchResult{}, err
 	}
-	out := make([]Result, len(answers))
+	res := SearchResult{
+		Results: make([]Result, len(answers)),
+		Stats: SearchStats{
+			Expanded:    stats.Expanded,
+			Generated:   stats.Generated,
+			Answers:     stats.Answers,
+			Truncated:   stats.Truncated,
+			Interrupted: stats.Interrupted,
+			Elapsed:     time.Since(start),
+		},
+	}
 	for i, a := range answers {
-		out[i] = e.result(a, terms)
+		res.Results[i] = e.result(a, terms)
 	}
-	return out, nil
+	return res, nil
 }
 
 // result converts a search answer to the public form.
@@ -277,9 +394,9 @@ type lookupFunc func(table, key string) (graph.NodeID, bool)
 
 // buildEngine assembles an Engine from prepared parts.
 func buildEngine(g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Config, feedback map[graph.NodeID]float64) (*Engine, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("cirank: negative Config.Workers %d", cfg.Workers)
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
 	}
 	ix := textindex.Build(g)
 	prOpts := pagerank.DefaultOptions()

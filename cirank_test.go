@@ -200,7 +200,7 @@ func TestCustomSchema(t *testing.T) {
 	b.MustInsert("Road", "r1", "route sixty six")
 	b.MustRelate("connects", "r1", "c1")
 	b.MustRelate("connects", "r1", "c2")
-	eng, err := b.Build(Config{})
+	eng, err := b.Build(DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

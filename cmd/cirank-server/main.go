@@ -1,0 +1,142 @@
+// Command cirank-server serves CI-Rank keyword search over HTTP: it
+// generates a synthetic dataset, builds a query engine, and exposes the
+// internal/server endpoints until SIGINT/SIGTERM triggers a graceful drain.
+//
+// Usage:
+//
+//	cirank-server -dataset dblp -scale 1 -addr :8080
+//	curl 'localhost:8080/search?q=some+keywords&k=5&timeout=2s'
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cirank"
+	"cirank/internal/datagen"
+	"cirank/internal/relational"
+	"cirank/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataset  = flag.String("dataset", "dblp", "dataset to generate: imdb or dblp")
+		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		k        = flag.Int("k", 5, "default answers per query")
+		maxK     = flag.Int("maxk", 100, "largest k a request may ask for")
+		timeout  = flag.Duration("timeout", 5*time.Second, "default per-query deadline")
+		maxTime  = flag.Duration("maxtimeout", 30*time.Second, "cap on the per-query deadline")
+		inflight = flag.Int("inflight", 0, "max concurrent queries (0 = 2x GOMAXPROCS)")
+		maxExp   = flag.Int("maxexpansions", 200000, "branch-and-bound expansion cap per query (-1 = unlimited)")
+		workers  = flag.Int("workers", 0, "engine worker goroutines per query (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	eng, err := buildEngine(*dataset, *scale, *seed, *workers)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "cirank-server: engine ready: %d nodes, %d edges\n", eng.NumNodes(), eng.NumEdges())
+
+	srv, err := server.New(server.Config{
+		Engine:         eng,
+		DefaultK:       *k,
+		MaxK:           *maxK,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+		MaxInFlight:    *inflight,
+		MaxExpansions:  *maxExp,
+	})
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Serve until a termination signal, then drain in-flight queries: each
+	// holds a context derived from its request, so Shutdown's deadline also
+	// bounds how long a straggler may keep computing.
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cirank-server: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "cirank-server: %v: draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *maxTime)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("shutdown: %w", err))
+		}
+	}
+	fmt.Fprintln(os.Stderr, "cirank-server: bye")
+}
+
+// buildEngine generates the requested dataset and replays it through the
+// public builder, so the server exercises the same API an embedding
+// application would.
+func buildEngine(dataset string, scale float64, seed int64, workers int) (*cirank.Engine, error) {
+	var (
+		ds  *datagen.Dataset
+		b   *cirank.Builder
+		err error
+	)
+	switch dataset {
+	case "imdb":
+		ds, err = datagen.GenerateIMDB(datagen.DefaultIMDBConfig(seed).Scale(scale))
+		b = cirank.NewIMDBBuilder()
+	case "dblp":
+		ds, err = datagen.GenerateDBLP(datagen.DefaultDBLPConfig(seed).Scale(scale))
+		b = cirank.NewDBLPBuilder()
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want imdb or dblp)", dataset)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, table := range ds.Schema.Tables {
+		for _, key := range ds.DB.Keys(table) {
+			t, ok := ds.DB.Lookup(table, key)
+			if !ok {
+				return nil, fmt.Errorf("dataset lookup lost %s/%s", table, key)
+			}
+			if err := b.InsertEntity(table, t.Key, t.Text, t.EntityKey); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var relErr error
+	ds.DB.EachLink(func(rel relational.Relationship, fromKey, toKey string) {
+		if relErr == nil {
+			relErr = b.Relate(rel.Name, fromKey, toKey)
+		}
+	})
+	if relErr != nil {
+		return nil, relErr
+	}
+	cfg := cirank.DefaultConfig()
+	cfg.Workers = workers
+	return b.Build(cfg)
+}
+
+func fail(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "cirank-server:", err)
+	os.Exit(1)
+}

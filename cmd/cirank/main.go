@@ -9,6 +9,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func main() {
 		dotFile = flag.String("dot", "", "write the top answer of each query to this Graphviz file")
 		workers = flag.Int("workers", 0, "goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
 		noCache = flag.Bool("nocache", false, "disable the RWMP score cache")
+		qTime   = flag.Duration("timeout", 0, "per-query deadline (0 = none); an expired query prints its best answers so far")
 	)
 	flag.Parse()
 
@@ -84,10 +86,19 @@ func main() {
 			return
 		}
 		start := time.Now()
-		answers, stats, err := s.TopK(terms, opts)
+		ctx := context.Background()
+		if *qTime > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *qTime)
+			defer cancel()
+		}
+		answers, stats, err := s.TopKContext(ctx, terms, opts)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
+		}
+		if stats.Interrupted {
+			fmt.Printf("deadline %v hit; showing best answers found so far\n", *qTime)
 		}
 		if *dotFile != "" && len(answers) > 0 {
 			if err := writeDot(*dotFile, bundle, answers[0], terms); err != nil {

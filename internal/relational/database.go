@@ -176,6 +176,16 @@ func (db *Database) Lookup(tableName, key string) (Tuple, bool) {
 
 // UsedRelationships returns the relationships that have at least one link,
 // in name order — useful for tooling that introspects populated databases.
+// EachLink calls fn for every recorded relationship instance, in insertion
+// order, with the relationship and the two tuples' keys. It lets callers
+// replay a populated database into another store (e.g. the public builder)
+// without reaching into the graph layer.
+func (db *Database) EachLink(fn func(rel Relationship, fromKey, toKey string)) {
+	for _, l := range db.links {
+		fn(*l.rel, db.tuples[l.from].Key, db.tuples[l.to].Key)
+	}
+}
+
 func (db *Database) UsedRelationships() []Relationship {
 	seen := make(map[string]*Relationship)
 	for _, l := range db.links {

@@ -278,3 +278,23 @@ func TestUsedRelationships(t *testing.T) {
 		t.Errorf("unexpected order: %v, %v", rels[0].Name, rels[1].Name)
 	}
 }
+
+func TestEachLink(t *testing.T) {
+	db, _, _ := buildDBLPFixture(t)
+	type link struct{ rel, from, to string }
+	var got []link
+	db.EachLink(func(rel Relationship, fromKey, toKey string) {
+		got = append(got, link{rel.Name, fromKey, toKey})
+	})
+	want := []link{
+		{"written_by", "p1", "a1"},
+		{"written_by", "p1", "a2"},
+		{"written_by", "p2", "a1"},
+		{"written_by", "p2", "a2"},
+		{"appears_in", "p1", "c1"},
+		{"appears_in", "p2", "c1"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("EachLink replay = %v, want %v", got, want)
+	}
+}

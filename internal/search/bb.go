@@ -2,6 +2,8 @@ package search
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"strconv"
 
 	"cirank/internal/graph"
@@ -58,13 +60,28 @@ type bbState struct {
 	s      *Searcher
 	qc     *queryContext
 	opts   Options
-	nw     int // resolved worker count
+	done   <-chan struct{} // the context's Done channel; nil = uncancellable
+	nw     int             // resolved worker count
 	pq     candidateQueue
 	seen   map[string]bool // canonical keys of generated candidates
 	byRoot map[graph.NodeID][]*candidate
 	top    *topK
 	stats  Stats
 	seq    int
+}
+
+// interrupted polls the context. The first positive poll latches
+// Stats.Interrupted; every cancellation point in the search is a call to
+// this method (see ARCHITECTURE.md, "Cancellation points"). Polling a nil
+// channel never fires, so uncancellable searches pay only a failed select.
+func (st *bbState) interrupted() bool {
+	select {
+	case <-st.done:
+		st.stats.Interrupted = true
+		return true
+	default:
+		return false
+	}
 }
 
 // TopK runs the branch-and-bound search of Algorithm 1 (§IV-B) and returns
@@ -81,7 +98,23 @@ type bbState struct {
 // in flight when the cap fires, truncated runs may differ across worker
 // counts. TopK is safe for concurrent use: searches share only immutable
 // state (and the optional score cache, which is itself concurrency-safe).
+//
+// TopK is uncancellable; use TopKContext to bound a query by a deadline.
 func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
+	return s.TopKContext(context.Background(), terms, opts)
+}
+
+// TopKContext is TopK bounded by a context. If ctx is already done on entry
+// no work happens and the error wraps both ErrDeadline and ctx's error. If
+// ctx expires mid-search the loop stops at its next cancellation point and
+// returns the best answers found so far with Stats.Interrupted set and a nil
+// error — like a MaxExpansions stop, interrupted rankings may differ across
+// worker counts. A context that never fires leaves the search byte-identical
+// to TopK: the cancellation points only poll ctx.Done().
+func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options) ([]Answer, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -104,6 +137,7 @@ func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
 		s:      s,
 		qc:     qc,
 		opts:   opts,
+		done:   ctx.Done(),
 		nw:     nw,
 		seen:   make(map[string]bool),
 		byRoot: make(map[graph.NodeID][]*candidate),
@@ -115,7 +149,7 @@ func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
 	}
 	st.process(seeds)
 	halfD := halfDiameter(opts.Diameter)
-	for st.pq.Len() > 0 {
+	for st.pq.Len() > 0 && !st.interrupted() {
 		// Pop a batch of frontier candidates. Lemma 1: once the best
 		// remaining upper bound cannot beat the current k-th answer,
 		// nothing better can emerge and the search is done.
@@ -168,8 +202,22 @@ func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
 // (the pre-parallel implementation recursed) visits the same closure — every
 // candidate still merges against every earlier same-root candidate — in a
 // breadth-first order that exposes whole levels to the workers.
+//
+// fillChunk bounds how many candidates are evaluated between context polls.
+// A merge level around a hub root can hold tens of thousands of candidates
+// whose fills (RWMP scoring, bound computation) dominate the query's cost,
+// so polling only at level boundaries would let a cancelled query run for
+// seconds; chunking caps the post-cancellation latency at one chunk of
+// fills plus one commit. The chunking changes scheduling only — fill is
+// pure — so uncancelled results are unaffected.
+const fillChunk = 256
+
+// Cancellation points: each merge level, each fillChunk of evaluations
+// within a level, and each commit within a level — a single expansion can
+// cascade through many merge levels, and a single level through many
+// thousands of fills and merge attempts.
 func (st *bbState) process(trees []*jtt.Tree) {
-	for len(trees) > 0 {
+	for len(trees) > 0 && !st.interrupted() {
 		var level []*candidate
 		for _, tree := range trees {
 			// The Generated cap backstops the merge closure: MaxExpansions
@@ -187,9 +235,18 @@ func (st *bbState) process(trees []*jtt.Tree) {
 			st.stats.Generated++
 			level = append(level, &candidate{tree: tree, key: key})
 		}
-		parallelFor(len(level), st.nw, func(i int) { st.fill(level[i]) })
+		for start := 0; start < len(level); start += fillChunk {
+			if st.interrupted() {
+				return
+			}
+			chunk := level[start:min(start+fillChunk, len(level))]
+			parallelFor(len(chunk), st.nw, func(i int) { st.fill(chunk[i]) })
+		}
 		trees = trees[:0:0]
 		for _, c := range level {
+			if st.interrupted() {
+				return
+			}
 			trees = append(trees, st.commit(c)...)
 		}
 	}

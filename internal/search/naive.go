@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"cirank/internal/graph"
@@ -28,7 +30,23 @@ const (
 // does not change and the top-k keeps a total order (see parallel.go). Only
 // Stats.Answers may vary across parallel runs. NaiveTopK is safe for
 // concurrent use.
+//
+// NaiveTopK is uncancellable; use NaiveTopKContext to bound a run.
 func (s *Searcher) NaiveTopK(terms []string, opts Options) ([]Answer, Stats, error) {
+	return s.NaiveTopKContext(context.Background(), terms, opts)
+}
+
+// NaiveTopKContext is NaiveTopK bounded by a context, with the same
+// contract as TopKContext: ErrDeadline when ctx is already done on entry,
+// and a prompt stop with the best answers found so far plus
+// Stats.Interrupted when ctx expires mid-enumeration. The enumerator polls
+// the context per candidate root, per source-set combination and per
+// assembled path combination, so even a single hub root with a huge
+// combination space cannot stall cancellation.
+func (s *Searcher) NaiveTopKContext(ctx context.Context, terms []string, opts Options) ([]Answer, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -44,15 +62,16 @@ func (s *Searcher) NaiveTopK(terms []string, opts Options) ([]Answer, Stats, err
 	}
 	top := newTopK(opts.K)
 	var stats Stats
+	done := ctx.Done()
 	if nw := opts.workers(); nw > 1 {
 		pipe := newNaiveScorePipeline(s, opts, qc, top, nw)
-		stats.Expanded = s.enumerateNaive(qc, opts.Diameter, func(t *jtt.Tree) {
+		stats.Expanded, stats.Interrupted = s.enumerateNaive(qc, opts.Diameter, done, func(t *jtt.Tree) {
 			stats.Generated++
 			pipe.submit(t)
 		})
 		stats.Answers = pipe.close()
 	} else {
-		stats.Expanded = s.enumerateNaive(qc, opts.Diameter, func(t *jtt.Tree) {
+		stats.Expanded, stats.Interrupted = s.enumerateNaive(qc, opts.Diameter, done, func(t *jtt.Tree) {
 			stats.Generated++
 			score := s.score(opts, t, qc.sourcesIn(t), qc.terms)
 			if top.add(t, score) {
@@ -78,7 +97,7 @@ func (s *Searcher) EnumerateAnswers(terms []string, diameter, limit int) ([]*jtt
 	}
 	var out []*jtt.Tree
 	seen := make(map[string]bool)
-	_ = s.enumerateNaive(qc, diameter, func(t *jtt.Tree) {
+	_, _ = s.enumerateNaive(qc, diameter, nil, func(t *jtt.Tree) {
 		if limit > 0 && len(out) >= limit {
 			return
 		}
@@ -92,10 +111,21 @@ func (s *Searcher) EnumerateAnswers(terms []string, diameter, limit int) ([]*jtt
 	return out, nil
 }
 
+// stopped polls a context Done channel; a nil channel never fires.
+func stopped(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // enumerateNaive runs the §IV-A procedure, invoking emit for every valid
 // answer tree found (duplicates possible; callers dedupe). It returns the
-// number of candidate roots processed, the algorithm's unit of work.
-func (s *Searcher) enumerateNaive(qc *queryContext, diameter int, emit func(*jtt.Tree)) int {
+// number of candidate roots processed — the algorithm's unit of work — and
+// whether the done channel fired and stopped the enumeration early.
+func (s *Searcher) enumerateNaive(qc *queryContext, diameter int, done <-chan struct{}, emit func(*jtt.Tree)) (int, bool) {
 	g := s.m.Graph()
 	halfD := halfDiameter(diameter)
 	// Phase 1: BFS with all shortest-path predecessors from each non-free
@@ -117,6 +147,9 @@ func (s *Searcher) enumerateNaive(qc *queryContext, diameter int, emit func(*jtt
 	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 	processed := 0
 	for _, r := range roots {
+		if stopped(done) {
+			return processed, true
+		}
 		var coverage uint64
 		for _, src := range reach[r] {
 			coverage |= qc.masks[src]
@@ -125,15 +158,15 @@ func (s *Searcher) enumerateNaive(qc *queryContext, diameter int, emit func(*jtt
 			continue
 		}
 		processed++
-		s.assembleAtRoot(qc, r, reach[r], bfs, diameter, emit)
+		s.assembleAtRoot(qc, r, reach[r], bfs, diameter, done, emit)
 	}
-	return processed
+	return processed, stopped(done)
 }
 
 // assembleAtRoot enumerates, for root r, the per-term source choices and
 // the shortest-path combinations connecting them, emitting every valid
 // reduced tree.
-func (s *Searcher) assembleAtRoot(qc *queryContext, r graph.NodeID, sources []graph.NodeID, bfs map[graph.NodeID]*graph.BFSTree, diameter int, emit func(*jtt.Tree)) {
+func (s *Searcher) assembleAtRoot(qc *queryContext, r graph.NodeID, sources []graph.NodeID, bfs map[graph.NodeID]*graph.BFSTree, diameter int, done <-chan struct{}, emit func(*jtt.Tree)) {
 	// Per-term candidate sources reaching r.
 	perTerm := make([][]graph.NodeID, len(qc.terms))
 	for _, src := range sources {
@@ -150,7 +183,7 @@ func (s *Searcher) assembleAtRoot(qc *queryContext, r graph.NodeID, sources []gr
 	combos := 0
 	var chooseTerm func(ti int)
 	chooseTerm = func(ti int) {
-		if combos >= maxSourceSetCombo {
+		if combos >= maxSourceSetCombo || stopped(done) {
 			return
 		}
 		if ti == len(qc.terms) {
@@ -161,7 +194,7 @@ func (s *Searcher) assembleAtRoot(qc *queryContext, r graph.NodeID, sources []gr
 				return
 			}
 			seenSets[key] = true
-			s.combinePaths(qc, r, set, bfs, diameter, emit)
+			s.combinePaths(qc, r, set, bfs, diameter, done, emit)
 			return
 		}
 		for _, src := range perTerm[ti] {
@@ -174,7 +207,7 @@ func (s *Searcher) assembleAtRoot(qc *queryContext, r graph.NodeID, sources []gr
 
 // combinePaths enumerates all shortest-path combinations from root r to each
 // source and emits the combinations that form valid trees.
-func (s *Searcher) combinePaths(qc *queryContext, r graph.NodeID, set []graph.NodeID, bfs map[graph.NodeID]*graph.BFSTree, diameter int, emit func(*jtt.Tree)) {
+func (s *Searcher) combinePaths(qc *queryContext, r graph.NodeID, set []graph.NodeID, bfs map[graph.NodeID]*graph.BFSTree, diameter int, done <-chan struct{}, emit func(*jtt.Tree)) {
 	paths := make([][][]graph.NodeID, len(set))
 	for i, src := range set {
 		paths[i] = shortestPaths(bfs[src], r, maxPathsPerPair)
@@ -185,7 +218,7 @@ func (s *Searcher) combinePaths(qc *queryContext, r graph.NodeID, set []graph.No
 	built := 0
 	var build func(i int, parent map[graph.NodeID]graph.NodeID)
 	build = func(i int, parent map[graph.NodeID]graph.NodeID) {
-		if built >= maxCombosPerRoot {
+		if built >= maxCombosPerRoot || stopped(done) {
 			return
 		}
 		if i == len(set) {

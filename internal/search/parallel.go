@@ -21,6 +21,7 @@
 package search
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -80,12 +81,7 @@ func (s *Searcher) checkScores(opts Options) error {
 }
 
 // errForeignCache is returned when Options.Scores belongs to another model.
-var errForeignCache = errorString("search: Options.Scores was built over a different rwmp.Model")
-
-// errorString is a trivial constant-friendly error type.
-type errorString string
-
-func (e errorString) Error() string { return string(e) }
+var errForeignCache = fmt.Errorf("%w: Options.Scores was built over a different rwmp.Model", ErrBadOptions)
 
 // naiveScorePipeline scores enumerated answer trees on a worker pool and
 // folds them into a shared top-k. The enumeration goroutine feeds trees into

@@ -64,19 +64,20 @@ type Options struct {
 	Scores *rwmp.ScoreCache
 }
 
-// Validate checks the options.
+// Validate checks the options. Failures wrap the sentinel errors ErrBadK
+// and ErrBadOptions so callers can classify them with errors.Is.
 func (o Options) Validate() error {
 	if o.K < 1 {
-		return fmt.Errorf("search: K must be at least 1, got %d", o.K)
+		return fmt.Errorf("%w (got %d)", ErrBadK, o.K)
 	}
 	if o.Diameter < 0 {
-		return fmt.Errorf("search: negative diameter %d", o.Diameter)
+		return fmt.Errorf("%w: negative diameter %d", ErrBadOptions, o.Diameter)
 	}
 	if o.MaxExpansions < 0 {
-		return fmt.Errorf("search: negative MaxExpansions %d", o.MaxExpansions)
+		return fmt.Errorf("%w: negative MaxExpansions %d", ErrBadOptions, o.MaxExpansions)
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("search: negative Workers %d", o.Workers)
+		return fmt.Errorf("%w: negative Workers %d", ErrBadOptions, o.Workers)
 	}
 	return nil
 }
@@ -108,7 +109,16 @@ type Stats struct {
 	Answers int
 	// Truncated reports that MaxExpansions stopped the search early.
 	Truncated bool
+	// Interrupted reports that the caller's context expired or was
+	// cancelled mid-search; the returned answers are the best found up to
+	// that point and carry no optimality guarantee.
+	Interrupted bool
 }
+
+// Partial reports whether the search stopped before exhausting its frontier
+// — by the MaxExpansions cap or by context cancellation — so the answers are
+// the best found so far rather than provably optimal.
+func (s Stats) Partial() bool { return s.Truncated || s.Interrupted }
 
 // Searcher runs queries against one RWMP model. It is safe for concurrent
 // use: searches share only immutable state.
@@ -246,10 +256,10 @@ func (s *Searcher) prepare(rawTerms []string) (*queryContext, bool, error) {
 		terms = append(terms, t)
 	}
 	if len(terms) == 0 {
-		return nil, false, fmt.Errorf("search: empty query")
+		return nil, false, ErrEmptyQuery
 	}
 	if len(terms) > maxQueryTerms {
-		return nil, false, fmt.Errorf("search: query has %d terms, limit %d", len(terms), maxQueryTerms)
+		return nil, false, fmt.Errorf("%w: query has %d terms, limit %d", ErrBadOptions, len(terms), maxQueryTerms)
 	}
 	qc := &queryContext{
 		terms: terms,

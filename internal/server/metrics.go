@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"cirank"
+)
+
+// latencyBuckets are the query-latency histogram upper bounds, in seconds.
+// They span the sub-millisecond cache-hit regime through the multi-second
+// branch-and-bound worst case ahead of the per-request timeout.
+var latencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// metrics holds the server's counters. Everything is atomic so the handler
+// path never takes a lock; the cumulative histogram view is assembled at
+// scrape time. Reads use atomic loads, so scrapes see a near-consistent
+// snapshot without stopping traffic.
+type metrics struct {
+	// Per-outcome request counters for /search.
+	ok, badRequest, rejected, timeout, internal atomic.Int64
+	// Partial-result counters: queries that returned best-so-far answers.
+	interrupted, truncated atomic.Int64
+	// expanded accumulates branch-and-bound expansions across queries.
+	expanded atomic.Int64
+	// inflight is the number of /search requests currently holding an
+	// admission slot.
+	inflight atomic.Int64
+	// Histogram state: per-bucket counts (non-cumulative; the +Inf bucket
+	// is buckets[len(latencyBuckets)]), total count and sum in
+	// microseconds.
+	buckets  [len(latencyBuckets) + 1]atomic.Int64
+	count    atomic.Int64
+	sumMicro atomic.Int64
+}
+
+// observe records one query latency in the histogram.
+func (m *metrics) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	m.buckets[i].Add(1)
+	m.count.Add(1)
+	m.sumMicro.Add(d.Microseconds())
+}
+
+// writeTo emits the metrics in the Prometheus text exposition format,
+// folding in the engine's cache counters and the current in-flight gauge.
+func (m *metrics) writeTo(w io.Writer, cache cirank.CacheStats) {
+	counter := func(name, help string, pairs ...any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			fmt.Fprintf(w, "%s%s %d\n", name, pairs[i], pairs[i+1])
+		}
+	}
+	counter("cirank_queries_total", "Completed /search requests by outcome.",
+		`{status="ok"}`, m.ok.Load(),
+		`{status="bad_request"}`, m.badRequest.Load(),
+		`{status="rejected"}`, m.rejected.Load(),
+		`{status="timeout"}`, m.timeout.Load(),
+		`{status="internal_error"}`, m.internal.Load(),
+	)
+	counter("cirank_queries_partial_total", "Queries that returned best-so-far answers after an early stop.",
+		`{reason="interrupted"}`, m.interrupted.Load(),
+		`{reason="truncated"}`, m.truncated.Load(),
+	)
+	counter("cirank_expansions_total", "Branch-and-bound candidate expansions across all queries.",
+		"", m.expanded.Load(),
+	)
+	counter("cirank_cache_hits_total", "Engine memo-cache hits by cache.",
+		`{cache="score"}`, cache.ScoreHits,
+		`{cache="bound"}`, cache.BoundHits,
+	)
+	counter("cirank_cache_misses_total", "Engine memo-cache misses by cache.",
+		`{cache="score"}`, cache.ScoreMisses,
+		`{cache="bound"}`, cache.BoundMisses,
+	)
+	fmt.Fprintf(w, "# HELP cirank_inflight_queries /search requests currently holding an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE cirank_inflight_queries gauge\ncirank_inflight_queries %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP cirank_query_duration_seconds Engine latency of successful /search queries.\n")
+	fmt.Fprintf(w, "# TYPE cirank_query_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, le := range latencyBuckets {
+		cum += m.buckets[i].Load()
+		fmt.Fprintf(w, "cirank_query_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.buckets[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "cirank_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "cirank_query_duration_seconds_sum %g\n", float64(m.sumMicro.Load())/1e6)
+	fmt.Fprintf(w, "cirank_query_duration_seconds_count %d\n", m.count.Load())
+}

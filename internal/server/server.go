@@ -1,0 +1,386 @@
+// Package server is the HTTP/JSON serving layer over a cirank.Engine: the
+// query endpoint with per-request deadlines, a semaphore-based admission
+// limiter that sheds load with 429 instead of queueing unboundedly, a health
+// probe and a Prometheus-format metrics endpoint.
+//
+// Endpoints:
+//
+//	GET /search?q=<keywords>&k=5&diameter=4&timeout=2s&workers=0
+//	GET /healthz
+//	GET /metrics
+//
+// Every /search runs under a context derived from the request — deadline
+// from the timeout parameter (default/cap from Config), cancellation from
+// client disconnect — so a runaway branch-and-bound query stops at its next
+// cancellation point and returns the best answers found so far with
+// stats.interrupted set, instead of burning a worker until completion.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"cirank"
+	"cirank/internal/textindex"
+)
+
+// Config sizes a Server. The zero value of every field except Engine takes
+// a sensible serving default.
+type Config struct {
+	// Engine is the query-ready engine to serve. Required.
+	Engine *cirank.Engine
+	// DefaultK is the answer count when the request has no k parameter
+	// (default 5).
+	DefaultK int
+	// MaxK bounds the k parameter (default 100); larger requests get 400.
+	MaxK int
+	// DefaultDiameter is the answer-tree diameter limit when the request
+	// has no diameter parameter (default 4).
+	DefaultDiameter int
+	// MaxDiameter bounds the diameter parameter (default 6); larger
+	// requests get 400.
+	MaxDiameter int
+	// DefaultTimeout is the per-query deadline when the request has no
+	// timeout parameter (default 5s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the timeout parameter (default 30s); larger requests
+	// are clamped, keeping one slow client from parking an admission slot.
+	MaxTimeout time.Duration
+	// MaxInFlight is the admission limit: at most this many /search
+	// requests run concurrently, the rest get 429 (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// MaxExpansions caps branch-and-bound work per query (default 200000;
+	// -1 removes the cap, leaving the timeout as the only bound).
+	MaxExpansions int
+}
+
+// withDefaults validates the config and fills the zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Engine == nil {
+		return c, errors.New("server: Config.Engine is required")
+	}
+	if c.DefaultK == 0 {
+		c.DefaultK = 5
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 100
+	}
+	if c.DefaultDiameter == 0 {
+		c.DefaultDiameter = 4
+	}
+	if c.MaxDiameter == 0 {
+		c.MaxDiameter = 6
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	for name, v := range map[string]int{
+		"DefaultK": c.DefaultK, "MaxK": c.MaxK,
+		"DefaultDiameter": c.DefaultDiameter, "MaxDiameter": c.MaxDiameter,
+		"MaxInFlight": c.MaxInFlight,
+	} {
+		if v < 0 {
+			return c, fmt.Errorf("server: negative Config.%s %d", name, v)
+		}
+	}
+	if c.DefaultTimeout < 0 || c.MaxTimeout < 0 {
+		return c, errors.New("server: negative timeout config")
+	}
+	if c.MaxExpansions < -1 {
+		return c, fmt.Errorf("server: Config.MaxExpansions %d (use -1 to remove the cap)", c.MaxExpansions)
+	}
+	return c, nil
+}
+
+// Server serves keyword-search queries over one engine. It is safe for
+// concurrent use; construct with New and mount Handler on an http.Server.
+type Server struct {
+	cfg Config
+	// sem is the admission semaphore: a slot must be acquired before a
+	// query touches the engine, and acquisition never blocks — a full
+	// channel means 429.
+	sem chan struct{}
+	m   metrics
+	mux *http.ServeMux
+}
+
+// New validates the config and assembles a Server.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, for mounting on an
+// http.Server (whose Shutdown gives the graceful-drain story; see
+// cmd/cirank-server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Row is one tuple of an answer in the /search JSON response.
+type Row struct {
+	// Table names the tuple's table.
+	Table string `json:"table"`
+	// Key is the tuple's primary key within Table.
+	Key string `json:"key"`
+	// Text is the tuple's searchable text.
+	Text string `json:"text"`
+	// Matched reports whether the tuple matches at least one query term.
+	Matched bool `json:"matched"`
+}
+
+// Answer is one ranked result in the /search JSON response.
+type Answer struct {
+	// Score is the answer's collective importance (Eq. 4).
+	Score float64 `json:"score"`
+	// Rows are the answer's tuples; Rows[0] is the tree root.
+	Rows []Row `json:"rows"`
+	// Edges are the answer tree's edges as index pairs into Rows
+	// (child, parent).
+	Edges [][2]int `json:"edges"`
+}
+
+// Stats is the per-query work report in the /search JSON response.
+type Stats struct {
+	// Expanded counts candidate trees expanded by branch-and-bound.
+	Expanded int `json:"expanded"`
+	// Generated counts candidate trees generated.
+	Generated int `json:"generated"`
+	// Answers counts complete answers found (not just the k returned).
+	Answers int `json:"answers"`
+	// Truncated reports an early stop by the expansion cap; the results
+	// are the best found so far.
+	Truncated bool `json:"truncated"`
+	// Interrupted reports an early stop by the request deadline or client
+	// disconnect; the results are the best found so far.
+	Interrupted bool `json:"interrupted"`
+	// ElapsedMS is the query's wall-clock engine time in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// SearchResponse is the /search response body.
+type SearchResponse struct {
+	// Query is the raw q parameter.
+	Query string `json:"query"`
+	// Terms is the query's tokenization, as the engine searched it.
+	Terms []string `json:"terms"`
+	// K is the effective answer-count limit.
+	K int `json:"k"`
+	// Results are the ranked answers, best first.
+	Results []Answer `json:"results"`
+	// Stats reports the work the query did.
+	Stats Stats `json:"stats"`
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	// Error is a human-readable description of the failure.
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz response body.
+type HealthResponse struct {
+	// Status is "ok" whenever the server answers at all.
+	Status string `json:"status"`
+	// Nodes is the engine data graph's node count.
+	Nodes int `json:"nodes"`
+	// Edges is the engine data graph's directed edge count.
+	Edges int `json:"edges"`
+}
+
+// handleSearch runs one query under admission control and a per-request
+// deadline.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET"})
+		return
+	}
+	params, errMsg := s.parseSearchParams(r)
+	if errMsg != "" {
+		s.m.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: errMsg})
+		return
+	}
+	// Admission control: never block, never queue — a saturated server
+	// answers 429 immediately so load sheds at the edge.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "server at capacity"})
+		return
+	}
+	defer func() { <-s.sem }()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), params.timeout)
+	defer cancel()
+	res, err := s.cfg.Engine.SearchTermsContext(ctx, params.terms, params.k, params.opts)
+	switch {
+	case err == nil:
+	case errors.Is(err, cirank.ErrDeadline):
+		// The context died before the query started: the client
+		// disconnected or the budget was consumed upstream.
+		s.m.timeout.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, cirank.ErrBadK), errors.Is(err, cirank.ErrEmptyQuery), errors.Is(err, cirank.ErrBadOptions):
+		s.m.badRequest.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	default:
+		s.m.internal.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.m.ok.Add(1)
+	if res.Stats.Interrupted {
+		s.m.interrupted.Add(1)
+	}
+	if res.Stats.Truncated {
+		s.m.truncated.Add(1)
+	}
+	s.m.expanded.Add(int64(res.Stats.Expanded))
+	s.m.observe(res.Stats.Elapsed)
+	writeJSON(w, http.StatusOK, searchResponse(params, res))
+}
+
+// searchParams are the validated inputs of one /search request.
+type searchParams struct {
+	query   string
+	terms   []string
+	k       int
+	timeout time.Duration
+	opts    cirank.SearchOptions
+}
+
+// parseSearchParams validates the query string against the server limits.
+// It returns a non-empty message (for a 400) on invalid input.
+func (s *Server) parseSearchParams(r *http.Request) (searchParams, string) {
+	q := r.URL.Query()
+	p := searchParams{
+		query:   q.Get("q"),
+		k:       s.cfg.DefaultK,
+		timeout: s.cfg.DefaultTimeout,
+		opts: cirank.SearchOptions{
+			Diameter:      s.cfg.DefaultDiameter,
+			MaxExpansions: s.cfg.MaxExpansions,
+		},
+	}
+	p.terms = textindex.Tokenize(p.query)
+	if len(p.terms) == 0 {
+		return p, "missing or empty q parameter"
+	}
+	if v := q.Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 {
+			return p, fmt.Sprintf("bad k %q: want a positive integer", v)
+		}
+		if k > s.cfg.MaxK {
+			return p, fmt.Sprintf("k %d exceeds the limit %d", k, s.cfg.MaxK)
+		}
+		p.k = k
+	}
+	if v := q.Get("diameter"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 0 {
+			return p, fmt.Sprintf("bad diameter %q: want a non-negative integer", v)
+		}
+		if d > s.cfg.MaxDiameter {
+			return p, fmt.Sprintf("diameter %d exceeds the limit %d", d, s.cfg.MaxDiameter)
+		}
+		p.opts.Diameter = d
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return p, fmt.Sprintf("bad timeout %q: want a positive Go duration like 500ms or 2s", v)
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout // clamp: the server owns its worst case
+		}
+		p.timeout = d
+	}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Sprintf("bad workers %q: want a non-negative integer", v)
+		}
+		p.opts.Workers = n
+	}
+	return p, ""
+}
+
+// searchResponse converts an engine result to the wire form.
+func searchResponse(p searchParams, res cirank.SearchResult) SearchResponse {
+	out := SearchResponse{
+		Query:   p.query,
+		Terms:   p.terms,
+		K:       p.k,
+		Results: make([]Answer, len(res.Results)),
+		Stats: Stats{
+			Expanded:    res.Stats.Expanded,
+			Generated:   res.Stats.Generated,
+			Answers:     res.Stats.Answers,
+			Truncated:   res.Stats.Truncated,
+			Interrupted: res.Stats.Interrupted,
+			ElapsedMS:   float64(res.Stats.Elapsed.Microseconds()) / 1e3,
+		},
+	}
+	for i, a := range res.Results {
+		ans := Answer{Score: a.Score, Rows: make([]Row, len(a.Rows)), Edges: a.Edges}
+		for j, row := range a.Rows {
+			ans.Rows[j] = Row{Table: row.Table, Key: row.Key, Text: row.Text, Matched: row.Matched}
+		}
+		out.Results[i] = ans
+	}
+	return out
+}
+
+// handleHealthz answers the liveness/readiness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Nodes:  s.cfg.Engine.NumNodes(),
+		Edges:  s.cfg.Engine.NumEdges(),
+	})
+}
+
+// handleMetrics emits the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writeTo(w, s.cfg.Engine.CacheStats())
+}
+
+// writeJSON writes a JSON response with the given status code.
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
