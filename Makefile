@@ -1,7 +1,7 @@
 # Standard entry points; CI (.github/workflows/ci.yml) runs build+vet+lint+race.
 GO ?= go
 
-.PHONY: all build test race vet lint bench check serve
+.PHONY: all build test race vet lint bench bench-json bench-smoke check serve
 
 all: check
 
@@ -21,10 +21,9 @@ vet:
 	$(GO) vet ./...
 
 # lint enforces the documentation contract: every exported identifier in
-# the search, rwmp, pathindex, cache and server packages must carry a doc
-# comment.
+# the listed packages must carry a doc comment.
 lint:
-	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench
 
 # serve runs the HTTP query service on a generated DBLP dataset.
 # Try: curl 'localhost:8080/search?q=some+keywords&k=5&timeout=2s'
@@ -34,5 +33,18 @@ serve:
 # bench runs the paper-figure benchmarks plus the parallel/caching grid.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-json regenerates BENCH_build.json, the tracked offline-build
+# performance trajectory (scale x workers x stage, including the frozen
+# map-based baseline). Commit the result when the pipeline changes.
+bench-json:
+	$(GO) run ./cmd/cirank-bench -out BENCH_build.json
+
+# bench-smoke is the CI gate for the build pipeline: every BenchmarkBuild
+# cell runs once (catching bit-rot in the grid itself), and the
+# build-determinism suites run under the race detector.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkBuild$$' -benchtime 1x .
+	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch' ./internal/pathindex ./internal/textindex ./internal/graph .
 
 check: build vet lint race

@@ -1,9 +1,11 @@
 package cirank
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"cirank/internal/graph"
 	"cirank/internal/relational"
@@ -174,16 +176,37 @@ func (b *Builder) AddFeedback(table, key string, weight float64) {
 func (b *Builder) NumTuples() int { return b.db.NumTuples() }
 
 // Build freezes the data and constructs the Engine: data graph, text index,
-// importance values, RWMP model and (optionally) the star index.
+// importance values, RWMP model and (optionally) the star index. It is
+// BuildContext under a background context; use BuildContext to bound or
+// cancel a long build.
 func (b *Builder) Build(cfg Config) (*Engine, error) {
+	return b.BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build bounded by ctx. The pipeline runs as a small stage
+// DAG: graph construction first, then the text index concurrently with the
+// PageRank → path-index chain, each parallel stage fanning out across the
+// resolved Config.Workers count. A ctx that expires mid-build stops the
+// in-flight stages at their next cancellation point and returns an error
+// wrapping the context's error; nothing of the partial build escapes.
+// The produced engine is identical for every worker count (certified by the
+// build-determinism suite) and reports per-stage timings via
+// Engine.BuildStats.
+func (b *Builder) BuildContext(ctx context.Context, cfg Config) (*Engine, error) {
 	if b.err != nil {
 		return nil, fmt.Errorf("cirank: deferred build error: %w", b.err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, buildCancelled(err)
+	}
+	start := time.Now()
 	defaultWeight := 1.0
 	g, mp, err := relational.BuildGraph(b.db, b.weights, defaultWeight)
 	if err != nil {
 		return nil, err
 	}
+	var stats BuildStats
+	stats.Graph = StageStats{Duration: time.Since(start), Workers: 1, Items: g.NumNodes()}
 	isStar := relational.StarNodeSet(g, relational.StarTables(b.schema))
 	feedback := make(map[graph.NodeID]float64, len(b.feedback))
 	for _, f := range b.feedback {
@@ -193,5 +216,11 @@ func (b *Builder) Build(cfg Config) (*Engine, error) {
 		}
 		feedback[id] += f.weight
 	}
-	return buildEngine(g, mp, isStar, cfg, feedback)
+	eng, err := buildEngine(ctx, g, mp, isStar, cfg, feedback, &stats)
+	if err != nil {
+		return nil, err
+	}
+	stats.Total = time.Since(start)
+	eng.buildStats = stats
+	return eng, nil
 }

@@ -1,0 +1,99 @@
+package cirank
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StageStats describes one stage of the offline build pipeline.
+type StageStats struct {
+	// Duration is the stage's wall-clock time. Stages that ran concurrently
+	// with others (see BuildStats) overlap, so stage durations can sum to
+	// more than BuildStats.Total.
+	Duration time.Duration
+	// Workers is the number of goroutines the stage fanned its work across
+	// (1 for inherently sequential stages).
+	Workers int
+	// Items is the number of units the stage processed — graph nodes for
+	// the index stages, tuples for graph construction.
+	Items int
+}
+
+// Rate reports the stage's throughput in items per second (0 when the
+// duration is too small to measure).
+func (s StageStats) Rate() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Items) / s.Duration.Seconds()
+}
+
+// String renders the stage as "12.3ms (4 workers, 81300 items/s)".
+func (s StageStats) String() string {
+	return fmt.Sprintf("%v (%d workers, %.0f items/s)", s.Duration.Round(time.Microsecond), s.Workers, s.Rate())
+}
+
+// IndexMemStats describes the memory held by the engine's path index, so
+// the naive-vs-star size comparison of §V can be read off a startup log.
+type IndexMemStats struct {
+	// Kind is "star" when the §V-B index was built, or "none" when indexing
+	// is disabled or the schema's star tables do not cover every
+	// relationship.
+	Kind string
+	// StarNodes is the number of indexed star nodes (0 when Kind is "none").
+	StarNodes int
+	// Entries is the number of stored (source, target) statistic pairs.
+	Entries int
+	// Bytes estimates the heap bytes held by the index's tables.
+	Bytes int64
+}
+
+// String renders the index footprint as "star: 120 nodes, 14400 entries, 0.1 MiB".
+func (m IndexMemStats) String() string {
+	if m.Kind == "" || m.Kind == "none" {
+		return "none"
+	}
+	return fmt.Sprintf("%s: %d nodes, %d entries, %.1f MiB", m.Kind, m.StarNodes, m.Entries, float64(m.Bytes)/(1<<20))
+}
+
+// BuildStats reports what the offline build pipeline did: per-stage
+// wall-clock durations, fan-out and throughput, plus the path index's
+// memory footprint. Builder.BuildContext runs the text-index stage
+// concurrently with the PageRank → path-index chain, so TextIndex overlaps
+// PageRank and PathIndex in wall-clock terms. Engines loaded from a
+// snapshot report the zero value.
+type BuildStats struct {
+	// Total is the wall-clock time of the whole build.
+	Total time.Duration
+	// Workers is the resolved worker count shared by the parallel stages
+	// (Config.Workers, with 0 resolved to the CPU count).
+	Workers int
+	// Graph covers relational graph construction (tuples + links → CSR).
+	Graph StageStats
+	// TextIndex covers the sharded inverted-index build.
+	TextIndex StageStats
+	// PageRank covers the importance power iteration (sequential, so
+	// importance values never depend on the worker count).
+	PageRank StageStats
+	// PathIndex covers the §V star-index construction (zero when indexing
+	// is disabled).
+	PathIndex StageStats
+	// PathIndexMem describes the built path index's memory footprint.
+	PathIndexMem IndexMemStats
+}
+
+// String renders a one-line-per-stage summary suitable for startup logs.
+func (b BuildStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %v, %d workers", b.Total.Round(time.Microsecond), b.Workers)
+	fmt.Fprintf(&sb, " | graph %v", b.Graph)
+	fmt.Fprintf(&sb, " | text %v", b.TextIndex)
+	fmt.Fprintf(&sb, " | pagerank %v", b.PageRank)
+	if b.PathIndexMem.Kind == "star" {
+		fmt.Fprintf(&sb, " | pathindex %v [%v]", b.PathIndex, b.PathIndexMem)
+	} else {
+		sb.WriteString(" | pathindex none")
+	}
+	return sb.String()
+}

@@ -31,6 +31,7 @@ package cirank
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"cirank/internal/graph"
@@ -71,11 +72,14 @@ type Config struct {
 	// users clicked — the paper's user-preference adaptation (§VI-A,
 	// §VIII). 0 disables feedback biasing even if feedback was recorded.
 	FeedbackMix float64
-	// Workers sets how many goroutines each query fans candidate-tree
-	// evaluation (RWMP scoring and branch-and-bound bounds) across.
-	// 0 means auto — one worker per available CPU (GOMAXPROCS); 1 forces
-	// the sequential path. The ranked results are identical for every
-	// worker count (certified by the determinism tests); only throughput
+	// Workers is the single worker count shared by the offline build
+	// pipeline (text index and path index sharding, see
+	// Builder.BuildContext) and the online per-query fan-out (candidate
+	// tree evaluation). 0 means auto — one worker per available CPU
+	// (GOMAXPROCS), resolved once at build time; 1 forces the sequential
+	// paths; negative values are rejected with ErrBadConfig. Both the
+	// built indexes and the ranked results are identical for every worker
+	// count (certified by the determinism suites); only throughput
 	// changes.
 	Workers int
 	// CacheSize bounds the engine's two query-path memo caches: the RWMP
@@ -189,7 +193,15 @@ type Engine struct {
 	// Config.CacheSize < 0).
 	scores    *rwmp.ScoreCache
 	cachedIdx *pathindex.CachedIndex
+	// buildStats records what the offline build pipeline did (zero for
+	// engines loaded from a snapshot).
+	buildStats BuildStats
 }
+
+// BuildStats reports the offline build pipeline's per-stage wall-clock
+// timings, fan-out and path-index memory footprint. Engines loaded from a
+// snapshot report the zero value (their expensive stages were skipped).
+func (e *Engine) BuildStats() BuildStats { return e.buildStats }
 
 // CacheStats reports cumulative hit/miss counts of the engine's query-path
 // caches, for capacity tuning and observability.
@@ -392,24 +404,105 @@ func (e *Engine) mappingLookup(table, key string) (graph.NodeID, bool) {
 // lookup resolves tuples to nodes; injected by Builder.Build.
 type lookupFunc func(table, key string) (graph.NodeID, bool)
 
-// buildEngine assembles an Engine from prepared parts.
-func buildEngine(g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Config, feedback map[graph.NodeID]float64) (*Engine, error) {
+// buildCancelled wraps a context error so callers can errors.Is it against
+// context.Canceled / context.DeadlineExceeded.
+func buildCancelled(err error) error {
+	return fmt.Errorf("cirank: build cancelled: %w", err)
+}
+
+// buildEngine assembles an Engine from prepared parts, running the offline
+// pipeline as a stage DAG under ctx. After graph construction (done by the
+// caller), the text index and the importance chain (PageRank → dampening
+// rates → §V star index) have no data dependency on one another, so they
+// run concurrently; the parallel stages fan out internally across the
+// resolved worker count. PageRank itself stays sequential so importance
+// values — and with them every downstream score — never depend on the
+// machine's CPU count. Per-stage timings accumulate into stats.
+func buildEngine(ctx context.Context, g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Config, feedback map[graph.NodeID]float64, stats *BuildStats) (*Engine, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	ix := textindex.Build(g)
-	prOpts := pagerank.DefaultOptions()
-	prOpts.Teleport = cfg.Teleport
-	if cfg.FeedbackMix > 0 && len(feedback) > 0 {
-		prOpts.Personalization = feedback
-		prOpts.PersonalizationMix = cfg.FeedbackMix
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	pr, err := pagerank.Compute(g, prOpts)
-	if err != nil {
-		return nil, err
+	stats.Workers = workers
+	params := rwmp.Params{Alpha: cfg.Alpha, Group: cfg.Group}
+
+	var (
+		ix    *textindex.Index
+		ixErr error
+		done  = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		t0 := time.Now()
+		ix, ixErr = textindex.BuildContext(ctx, g, workers)
+		stats.TextIndex = StageStats{Duration: time.Since(t0), Workers: workers, Items: g.NumNodes()}
+	}()
+
+	// Importance chain, on this goroutine while the text index builds.
+	var (
+		imp     []float64
+		starIdx *pathindex.StarIndex
+	)
+	chainErr := func() error {
+		prOpts := pagerank.DefaultOptions()
+		prOpts.Teleport = cfg.Teleport
+		if cfg.FeedbackMix > 0 && len(feedback) > 0 {
+			prOpts.Personalization = feedback
+			prOpts.PersonalizationMix = cfg.FeedbackMix
+		}
+		t0 := time.Now()
+		pr, err := pagerank.Compute(g, prOpts)
+		if err != nil {
+			return err
+		}
+		stats.PageRank = StageStats{Duration: time.Since(t0), Workers: 1, Items: g.NumNodes()}
+		imp = pr.Scores
+		if err := ctx.Err(); err != nil {
+			return buildCancelled(err)
+		}
+		stats.PathIndexMem = IndexMemStats{Kind: "none"}
+		if cfg.IndexDepth > 0 {
+			damp, err := rwmp.DampRates(imp, params)
+			if err != nil {
+				return err
+			}
+			t0 = time.Now()
+			idx, err := pathindex.BuildStarContext(ctx, g, damp, isStar, cfg.IndexDepth, workers)
+			switch {
+			case err == nil:
+				starIdx = idx
+				stats.PathIndex = StageStats{Duration: time.Since(t0), Workers: workers, Items: g.NumNodes()}
+				ms := idx.MemStats()
+				stats.PathIndexMem = IndexMemStats{Kind: "star", StarNodes: idx.NumStarNodes(), Entries: ms.Entries, Bytes: ms.Bytes}
+			case ctx.Err() != nil:
+				return buildCancelled(ctx.Err())
+			default:
+				// Star indexing requires the star tables to cover every
+				// relationship; fall back to unindexed search for schemas
+				// where they don't.
+				starIdx = nil
+			}
+		}
+		return nil
+	}()
+	<-done
+	if chainErr != nil {
+		return nil, chainErr
 	}
-	model, err := rwmp.New(g, ix, pr.Scores, rwmp.Params{Alpha: cfg.Alpha, Group: cfg.Group})
+	if ixErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, buildCancelled(err)
+		}
+		return nil, ixErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, buildCancelled(err)
+	}
+	model, err := rwmp.New(g, ix, imp, params)
 	if err != nil {
 		return nil, err
 	}
@@ -418,29 +511,15 @@ func buildEngine(g *graph.Graph, mp *relational.Mapping, isStar []bool, cfg Conf
 		ix:       ix,
 		model:    model,
 		searcher: search.New(model),
-		imp:      pr.Scores,
+		imp:      imp,
 		lookup:   func(table, key string) (graph.NodeID, bool) { return mp.NodeOf(table, key) },
-		workers:  cfg.Workers,
+		workers:  workers,
+		starIdx:  starIdx,
 	}
 	if cfg.CacheSize >= 0 {
 		e.scores = rwmp.NewScoreCache(model, cfg.CacheSize)
-	}
-	if cfg.IndexDepth > 0 {
-		damp := make([]float64, g.NumNodes())
-		for i := range damp {
-			damp[i] = model.Damp(graph.NodeID(i))
-		}
-		idx, err := pathindex.BuildStar(g, damp, isStar, cfg.IndexDepth)
-		if err != nil {
-			// Star indexing requires the star tables to cover every
-			// relationship; fall back to unindexed search for schemas
-			// where they don't.
-			e.starIdx = nil
-		} else {
-			e.starIdx = idx
-			if cfg.CacheSize >= 0 {
-				e.cachedIdx = pathindex.NewCached(idx, cfg.CacheSize)
-			}
+		if starIdx != nil {
+			e.cachedIdx = pathindex.NewCached(starIdx, cfg.CacheSize)
 		}
 	}
 	return e, nil

@@ -1,0 +1,236 @@
+// Command cirank-bench runs the offline-build benchmark grid (the same
+// stages and axes as BenchmarkBuild in the root package, via
+// internal/buildbench) and writes the results as JSON, so the repository can
+// track the build pipeline's performance trajectory in BENCH_build.json
+// instead of in one-off benchmark pastes.
+//
+// Usage:
+//
+//	cirank-bench -out BENCH_build.json
+//	cirank-bench -dataset dblp -scales 0.25,1 -workers 1,2,4,8 -out -
+//
+// Two derived columns make the trajectory readable at a glance:
+// speedup_vs_w1 (same stage, workers=1) measures the parallel fan-out and
+// needs a multi-core machine to exceed 1; speedup_vs_maps (the frozen
+// map-based naive baseline at the same scale) measures the allocation-lean
+// scratch-buffer rewrite and shows on any machine.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cirank/internal/buildbench"
+)
+
+// benchResult is one grid cell of the report.
+type benchResult struct {
+	Stage   string  `json:"stage"`
+	Scale   float64 `json:"scale"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	Workers int     `json:"workers"`
+	N       int     `json:"n"`
+	NsPerOp int64   `json:"ns_per_op"`
+	BytesOp int64   `json:"bytes_per_op"`
+	Allocs  int64   `json:"allocs_per_op"`
+	// SpeedupVsW1 is this stage's workers=1 time divided by this cell's
+	// time (1 for the workers=1 cells themselves).
+	SpeedupVsW1 float64 `json:"speedup_vs_w1"`
+	// SpeedupVsMaps, set on "naive" cells, is the frozen map-based
+	// baseline's time at the same scale divided by this cell's time.
+	SpeedupVsMaps float64 `json:"speedup_vs_maps,omitempty"`
+}
+
+// report is the BENCH_build.json document.
+type report struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Dataset    string        `json:"dataset"`
+	Seed       int64         `json:"seed"`
+	Note       string        `json:"note"`
+	Results    []benchResult `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_build.json", "output path ('-' for stdout)")
+		dataset = flag.String("dataset", "dblp", "dataset to generate: imdb or dblp")
+		scales  = flag.String("scales", "0.25,1", "comma-separated dataset scale multipliers")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+		seed    = flag.Int64("seed", 42, "generation seed")
+	)
+	flag.Parse()
+
+	scaleList, err := parseFloats(*scales)
+	if err != nil {
+		fail(fmt.Errorf("bad -scales: %w", err))
+	}
+	workerList, err := parseInts(*workers)
+	if err != nil {
+		fail(fmt.Errorf("bad -workers: %w", err))
+	}
+
+	rep := report{
+		Schema:     "cirank/bench-build/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Dataset:    *dataset,
+		Seed:       *seed,
+		Note: "speedup_vs_w1 compares against workers=1 of the same stage and scale " +
+			"(flat when gomaxprocs=1); speedup_vs_maps compares the pooled-buffer naive " +
+			"build against the frozen pre-rewrite map-based baseline at the same scale.",
+	}
+
+	for _, scale := range scaleList {
+		w, err := buildbench.Load(*dataset, scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cirank-bench: %s scale %g: %d nodes, %d edges\n",
+			*dataset, scale, w.G.NumNodes(), w.G.NumEdges())
+		rep.Results = append(rep.Results, runScale(w, scale, workerList)...)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "cirank-bench: wrote %s (%d results)\n", *out, len(rep.Results))
+}
+
+// runScale measures every stage × worker cell for one loaded workload and
+// fills in the derived speedup columns.
+func runScale(w *buildbench.Workload, scale float64, workerList []int) []benchResult {
+	var out []benchResult
+	cell := func(stage string, workers int, f func(b *testing.B)) benchResult {
+		r := testing.Benchmark(f)
+		res := benchResult{
+			Stage:   stage,
+			Scale:   scale,
+			Nodes:   w.G.NumNodes(),
+			Edges:   w.G.NumEdges(),
+			Workers: workers,
+			N:       r.N,
+			NsPerOp: r.NsPerOp(),
+			BytesOp: r.AllocedBytesPerOp(),
+			Allocs:  r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "cirank-bench:   stage=%s workers=%d: %d ns/op (%d iters)\n",
+			stage, workers, res.NsPerOp, res.N)
+		return res
+	}
+
+	ctx := context.Background()
+	for _, workers := range workerList {
+		workers := workers
+		out = append(out, cell("pipeline", workers, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bld, err := w.NewBuilder()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := w.BuildPipeline(ctx, bld, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	for _, st := range buildbench.Stages() {
+		if st.Quadratic && scale > 1 {
+			continue
+		}
+		counts := workerList
+		if !st.Parallel {
+			counts = []int{1}
+		}
+		for _, workers := range counts {
+			st, workers := st, workers
+			out = append(out, cell(st.Name, workers, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := st.Run(ctx, w, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+
+	// Derived columns: per-stage workers=1 reference, and the map baseline
+	// for the naive rows.
+	w1 := map[string]int64{}
+	var mapsNs int64
+	for _, r := range out {
+		if r.Workers == 1 {
+			w1[r.Stage] = r.NsPerOp
+		}
+		if r.Stage == "naive-maps" {
+			mapsNs = r.NsPerOp
+		}
+	}
+	for i := range out {
+		if ref := w1[out[i].Stage]; ref > 0 && out[i].NsPerOp > 0 {
+			out[i].SpeedupVsW1 = round2(float64(ref) / float64(out[i].NsPerOp))
+		}
+		if out[i].Stage == "naive" && mapsNs > 0 && out[i].NsPerOp > 0 {
+			out[i].SpeedupVsMaps = round2(float64(mapsNs) / float64(out[i].NsPerOp))
+		}
+	}
+	return out
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("worker count %q must be a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "cirank-bench:", err)
+	os.Exit(1)
+}

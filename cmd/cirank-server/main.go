@@ -48,6 +48,7 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "cirank-server: engine ready: %d nodes, %d edges\n", eng.NumNodes(), eng.NumEdges())
+	fmt.Fprintf(os.Stderr, "cirank-server: build: %v\n", eng.BuildStats())
 
 	srv, err := server.New(server.Config{
 		Engine:         eng,

@@ -1,0 +1,82 @@
+package buildbench
+
+import (
+	"cirank/internal/graph"
+)
+
+// This file freezes the pre-pooling path-index build: per-source map
+// allocations for distances, retentions and both frontiers, exactly as the
+// tree shipped before bfsScratch (internal/pathindex/scratch.go) replaced
+// them with epoch-stamped slice buffers. It exists only as the benchmark
+// baseline — the denominator of the allocation-lean rewrite's speedup in
+// BENCH_build.json — and must not be "improved": changing it would silently
+// rebase the trajectory every later measurement is compared against.
+
+// boundedStatsMaps computes one source's bounded distance/retention statistics
+// with the historical map-backed layered propagation.
+func boundedStatsMaps(g *graph.Graph, src graph.NodeID, maxDepth int, damp []float64) (dist map[graph.NodeID]int, ret map[graph.NodeID]float64) {
+	dist = map[graph.NodeID]int{src: 0}
+	ret = map[graph.NodeID]float64{src: 1}
+	frontier := map[graph.NodeID]bool{src: true}
+	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		next := make(map[graph.NodeID]bool)
+		for u := range frontier {
+			through := ret[u]
+			if u != src {
+				through *= damp[u]
+			}
+			for _, e := range g.OutEdges(u) {
+				if _, seen := dist[e.To]; !seen {
+					dist[e.To] = depth + 1
+					next[e.To] = true
+				}
+				if through > ret[e.To] {
+					ret[e.To] = through
+					next[e.To] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, ret
+}
+
+// naiveTables is the historical all-pairs layout: one distance byte and one
+// retention float per node pair, row-major by source.
+type naiveTables struct {
+	dist []uint8
+	ret  []float64
+}
+
+// buildNaiveMaps fills the all-pairs tables with the map-backed traversal,
+// sequentially — the complete §V-A build as it existed before the rewrite.
+func buildNaiveMaps(g *graph.Graph, damp []float64, maxDepth int) *naiveTables {
+	n := g.NumNodes()
+	t := &naiveTables{
+		dist: make([]uint8, n*n),
+		ret:  make([]float64, n*n),
+	}
+	maxD := 0.0
+	for _, d := range damp {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	far := 1.0
+	for i := 0; i < maxDepth; i++ {
+		far *= maxD
+	}
+	for i := range t.dist {
+		t.dist[i] = uint8(maxDepth + 1)
+		t.ret[i] = far
+	}
+	for v := 0; v < n; v++ {
+		dist, ret := boundedStatsMaps(g, graph.NodeID(v), maxDepth, damp)
+		row := v * n
+		for node, d := range dist {
+			t.dist[row+int(node)] = uint8(d)
+			t.ret[row+int(node)] = ret[node]
+		}
+	}
+	return t
+}

@@ -42,7 +42,9 @@ type Node struct {
 
 // HalfEdge is one directed edge as seen from its source node.
 type HalfEdge struct {
-	To     NodeID
+	// To is the edge's destination node.
+	To NodeID
+	// Weight is the edge's positive weight.
 	Weight float64
 }
 
@@ -184,13 +186,19 @@ func (b *Builder) Build() *Graph {
 			continue
 		}
 		start := len(g.flat)
-		sum := 0.0
 		for to, w := range edges {
 			g.flat = append(g.flat, HalfEdge{To: to, Weight: w})
-			sum += w
 		}
 		part := g.flat[start:]
 		sort.Slice(part, func(x, y int) bool { return part[x].To < part[y].To })
+		// Sum in sorted-destination order, not map-iteration order: float
+		// addition is order-sensitive, and OutWeightSum feeds random-walk
+		// normalization and RWMP split denominators, so a wandering last ULP
+		// here would make "identical" builds score answers differently.
+		sum := 0.0
+		for _, e := range part {
+			sum += e.Weight
+		}
 		g.outSum[i] = sum
 	}
 	g.offsets[n] = int32(len(g.flat))

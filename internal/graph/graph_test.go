@@ -2,7 +2,9 @@ package graph
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -253,5 +255,92 @@ func TestBFSVisitEarlyStop(t *testing.T) {
 	})
 	if count != 3 {
 		t.Fatalf("visited %d nodes, want 3 (early stop)", count)
+	}
+}
+
+// TestEdgeOrderIndependence pins the property the parallel build pipeline
+// leans on: the frozen adjacency — OutEdges ordering, Weight/HasEdge answers
+// and OutWeightSum — depends only on the edge set, never on the order (or
+// map-iteration accident) in which AddEdge recorded it. Two builders insert
+// the same random edge set in different permutations and must freeze to
+// identical graphs.
+func TestEdgeOrderIndependence(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(7))
+	type edge struct {
+		from, to NodeID
+		w        float64
+	}
+	var edges []edge
+	for f := 0; f < n; f++ {
+		for _, off := range []int{1, 3, 7, 11} {
+			to := NodeID((f + off) % n)
+			if NodeID(f) == to {
+				continue
+			}
+			edges = append(edges, edge{NodeID(f), to, 0.1 + rng.Float64()})
+		}
+	}
+	build := func(perm []int) *Graph {
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddNode(Node{Relation: "T", Key: fmt.Sprint(i)})
+		}
+		for _, i := range perm {
+			e := edges[i]
+			b.AddEdge(e.from, e.to, e.w)
+		}
+		return b.Build()
+	}
+	fwd := make([]int, len(edges))
+	for i := range fwd {
+		fwd[i] = i
+	}
+	g1 := build(fwd)
+	g2 := build(rng.Perm(len(edges)))
+	for v := NodeID(0); v < n; v++ {
+		if !reflect.DeepEqual(g1.OutEdges(v), g2.OutEdges(v)) {
+			t.Fatalf("node %d: OutEdges differ across insertion orders:\n%v\n%v", v, g1.OutEdges(v), g2.OutEdges(v))
+		}
+		if g1.OutWeightSum(v) != g2.OutWeightSum(v) {
+			t.Fatalf("node %d: OutWeightSum differs across insertion orders", v)
+		}
+	}
+}
+
+// TestWeightBinarySearch cross-checks the sorted-slice binary search in
+// Weight/HasEdge against a plain map on a high-degree hub, including the
+// boundary probes sort.Search can get subtly wrong (first edge, last edge,
+// targets below, between and above every stored destination).
+func TestWeightBinarySearch(t *testing.T) {
+	const n = 201
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddNode(Node{Relation: "T", Key: fmt.Sprint(i)})
+	}
+	want := map[NodeID]float64{}
+	// Hub node 0 links to every odd node; even targets must miss.
+	for to := NodeID(1); to < n; to += 2 {
+		w := 1.0 + float64(to)/n
+		b.AddEdge(0, to, w)
+		want[to] = w
+	}
+	g := b.Build()
+	if deg := g.OutDegree(0); deg != len(want) {
+		t.Fatalf("hub degree = %d, want %d", deg, len(want))
+	}
+	for to := NodeID(0); to < n; to++ {
+		w, ok := g.Weight(0, to)
+		wantW, wantOK := want[to]
+		if ok != wantOK || w != wantW {
+			t.Fatalf("Weight(0, %d) = (%g, %v), want (%g, %v)", to, w, ok, wantW, wantOK)
+		}
+		if g.HasEdge(0, to) != wantOK {
+			t.Fatalf("HasEdge(0, %d) = %v, want %v", to, !wantOK, wantOK)
+		}
+	}
+	// No out-edges at all: the search must report a clean miss.
+	if _, ok := g.Weight(2, 0); ok {
+		t.Fatal("Weight on an edgeless node reported an edge")
 	}
 }

@@ -49,8 +49,10 @@ func (g *Graph) BFSDistances(start NodeID, maxDepth int) map[NodeID]int {
 // (§IV-A) needs all shortest-path predecessors because different connecting
 // paths yield different answer trees.
 type BFSTree struct {
+	// Source is the node the traversal started from.
 	Source NodeID
-	Dist   map[NodeID]int
+	// Dist maps each reached node to its hop distance from Source.
+	Dist map[NodeID]int
 	// Preds[v] lists the neighbours u of v with Dist[u] = Dist[v]-1 and an
 	// edge u → v, i.e. the nodes visited right before v on some shortest
 	// path from Source.

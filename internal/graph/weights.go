@@ -3,6 +3,7 @@ package graph
 // RelPair identifies a directed edge type at the schema level: an edge from
 // a tuple of relation From to a tuple of relation To.
 type RelPair struct {
+	// From and To name the source and destination relations.
 	From, To string
 }
 

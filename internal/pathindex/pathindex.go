@@ -24,6 +24,7 @@
 package pathindex
 
 import (
+	"context"
 	"fmt"
 
 	"cirank/internal/graph"
@@ -49,42 +50,6 @@ type Index interface {
 // a byte to keep the all-pairs tables compact.
 const maxUint8Depth = 250
 
-// boundedStats computes, from one source, the hop distance and maximal
-// retention to every node reachable within maxDepth hops, by dynamic
-// programming over hop layers. damp[v] is the dampening rate applied when a
-// message passes through v.
-func boundedStats(g *graph.Graph, src graph.NodeID, maxDepth int, damp []float64) (dist map[graph.NodeID]int, ret map[graph.NodeID]float64) {
-	dist = map[graph.NodeID]int{src: 0}
-	ret = map[graph.NodeID]float64{src: 1}
-	frontier := map[graph.NodeID]bool{src: true}
-	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
-		next := make(map[graph.NodeID]bool)
-		for u := range frontier {
-			// Retention through u: the source itself and the final
-			// destination do not dampen; every other node on the path
-			// does.
-			through := ret[u]
-			if u != src {
-				through *= damp[u]
-			}
-			for _, e := range g.OutEdges(u) {
-				if _, seen := dist[e.To]; !seen {
-					dist[e.To] = depth + 1
-					next[e.To] = true
-				}
-				if through > ret[e.To] {
-					// A better retention may arrive along a non-shortest
-					// path; record it and re-expand so it propagates.
-					ret[e.To] = through
-					next[e.To] = true
-				}
-			}
-		}
-		frontier = next
-	}
-	return dist, ret
-}
-
 // NaiveIndex holds DS and LS for all node pairs (§V-A).
 type NaiveIndex struct {
 	n        int
@@ -95,8 +60,21 @@ type NaiveIndex struct {
 
 // BuildNaive builds the all-pairs index up to maxDepth hops. Space is
 // O(|V|²); intended for small graphs (the paper itself abandons this scheme
-// for moderate sizes, which is the point of the star index).
+// for moderate sizes, which is the point of the star index). The build fans
+// out across one worker per CPU; use BuildNaiveContext to pick the fan-out
+// or to make the build cancellable.
 func BuildNaive(g *graph.Graph, damp []float64, maxDepth int) (*NaiveIndex, error) {
+	return BuildNaiveContext(context.Background(), g, damp, maxDepth, 0)
+}
+
+// BuildNaiveContext is BuildNaive with explicit cancellation and fan-out.
+// Workers follows the search.Options.Workers convention: 0 means one worker
+// per available CPU, 1 forces the sequential build. The produced index is
+// byte-identical for every worker count (each source's row is an independent
+// deterministic traversal; workers only partition the sources). A cancelled
+// ctx aborts the build at the next chunk boundary with an error wrapping
+// ctx.Err().
+func BuildNaiveContext(ctx context.Context, g *graph.Graph, damp []float64, maxDepth, workers int) (*NaiveIndex, error) {
 	if maxDepth < 1 || maxDepth > maxUint8Depth {
 		return nil, fmt.Errorf("pathindex: maxDepth %d outside [1, %d]", maxDepth, maxUint8Depth)
 	}
@@ -117,13 +95,17 @@ func BuildNaive(g *graph.Graph, damp []float64, maxDepth int) (*NaiveIndex, erro
 		ix.dist[i] = uint8(maxDepth + 1)
 		ix.ret[i] = far
 	}
-	for v := 0; v < n; v++ {
-		dist, ret := boundedStats(g, graph.NodeID(v), maxDepth, damp)
-		row := v * n
-		for node, d := range dist {
-			ix.dist[row+int(node)] = uint8(d)
-			ix.ret[row+int(node)] = ret[node]
-		}
+	err := forEachSource(ctx, g, damp, maxDepth, workers, n,
+		func(i int) graph.NodeID { return graph.NodeID(i) },
+		func(s *bfsScratch, src graph.NodeID) {
+			row := int(src) * n
+			for _, v := range s.touched {
+				ix.dist[row+int(v)] = uint8(s.dist[v])
+				ix.ret[row+int(v)] = s.ret[v]
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	return ix, nil
 }
@@ -158,3 +140,12 @@ func (ix *NaiveIndex) RetentionUB(u, v graph.NodeID) float64 {
 // MaxDepth reports the index's horizon: distances at or beyond
 // MaxDepth()+1 are lower bounds, not exact values.
 func (ix *NaiveIndex) MaxDepth() int { return ix.maxDepth }
+
+// MemStats reports the table footprint: n² entries of one distance byte and
+// one retention float each.
+func (ix *NaiveIndex) MemStats() MemStats {
+	return MemStats{
+		Entries: ix.n * ix.n,
+		Bytes:   int64(len(ix.dist)) + 8*int64(len(ix.ret)),
+	}
+}

@@ -1,6 +1,7 @@
 package pathindex
 
 import (
+	"context"
 	"fmt"
 
 	"cirank/internal/graph"
@@ -31,8 +32,18 @@ type StarIndex struct {
 // BuildStar builds the star index. isStar marks the nodes of the star
 // tables (see relational.StarNodeSet); it must be a table-level vertex
 // cover — every graph edge needs at least one star endpoint — which
-// BuildStar verifies.
+// BuildStar verifies. The build fans out across one worker per CPU; use
+// BuildStarContext to pick the fan-out or to make the build cancellable.
 func BuildStar(g *graph.Graph, damp []float64, isStar []bool, maxDepth int) (*StarIndex, error) {
+	return BuildStarContext(context.Background(), g, damp, isStar, maxDepth, 0)
+}
+
+// BuildStarContext is BuildStar with explicit cancellation and fan-out.
+// Workers follows the search.Options.Workers convention: 0 means one worker
+// per available CPU, 1 forces the sequential build. The produced index is
+// byte-identical for every worker count; a cancelled ctx aborts the build
+// with an error wrapping ctx.Err().
+func BuildStarContext(ctx context.Context, g *graph.Graph, damp []float64, isStar []bool, maxDepth, workers int) (*StarIndex, error) {
 	if maxDepth < 1 || maxDepth > maxUint8Depth {
 		return nil, fmt.Errorf("pathindex: maxDepth %d outside [1, %d]", maxDepth, maxUint8Depth)
 	}
@@ -47,10 +58,12 @@ func BuildStar(g *graph.Graph, damp []float64, isStar []bool, maxDepth int) (*St
 		starIdx:  make([]int32, g.NumNodes()),
 		far:      farRetention(damp, maxDepth),
 	}
+	var starNodes []graph.NodeID
 	for v := 0; v < g.NumNodes(); v++ {
 		if isStar[v] {
 			ix.starIdx[v] = int32(ix.numStar)
 			ix.numStar++
+			starNodes = append(starNodes, graph.NodeID(v))
 		} else {
 			ix.starIdx[v] = -1
 			for _, e := range g.OutEdges(graph.NodeID(v)) {
@@ -66,21 +79,21 @@ func BuildStar(g *graph.Graph, damp []float64, isStar []bool, maxDepth int) (*St
 		ix.dist[i] = uint8(maxDepth + 1)
 		ix.ret[i] = ix.far
 	}
-	for v := 0; v < g.NumNodes(); v++ {
-		si := ix.starIdx[v]
-		if si < 0 {
-			continue
-		}
-		dist, ret := boundedStats(g, graph.NodeID(v), maxDepth, damp)
-		row := int(si) * ix.numStar
-		for node, d := range dist {
-			sj := ix.starIdx[node]
-			if sj < 0 {
-				continue
+	err := forEachSource(ctx, g, damp, maxDepth, workers, len(starNodes),
+		func(i int) graph.NodeID { return starNodes[i] },
+		func(s *bfsScratch, src graph.NodeID) {
+			row := int(ix.starIdx[src]) * ix.numStar
+			for _, v := range s.touched {
+				sj := ix.starIdx[v]
+				if sj < 0 {
+					continue
+				}
+				ix.dist[row+int(sj)] = uint8(s.dist[v])
+				ix.ret[row+int(sj)] = s.ret[v]
 			}
-			ix.dist[row+int(sj)] = uint8(d)
-			ix.ret[row+int(sj)] = ret[node]
-		}
+		})
+	if err != nil {
+		return nil, err
 	}
 	return ix, nil
 }
@@ -90,6 +103,17 @@ func (ix *StarIndex) NumStarNodes() int { return ix.numStar }
 
 // MaxDepth reports the index horizon.
 func (ix *StarIndex) MaxDepth() int { return ix.maxDepth }
+
+// MemStats reports the table footprint: |S|² entries of one distance byte
+// and one retention float each, plus the per-node star-ordinal, flag and
+// dampening arrays the non-star lookup cases need.
+func (ix *StarIndex) MemStats() MemStats {
+	return MemStats{
+		Entries: ix.numStar * ix.numStar,
+		Bytes: int64(len(ix.dist)) + 8*int64(len(ix.ret)) +
+			4*int64(len(ix.starIdx)) + int64(len(ix.isStar)) + 8*int64(len(ix.damp)),
+	}
+}
 
 // starDist reads the star×star distance table.
 func (ix *StarIndex) starDist(si, sj int32) int {

@@ -79,28 +79,52 @@ func New(g *graph.Graph, ix *textindex.Index, importance []float64, params Param
 	if len(importance) != g.NumNodes() {
 		return nil, fmt.Errorf("rwmp: importance has %d entries for %d nodes", len(importance), g.NumNodes())
 	}
-	pmin := math.Inf(1)
-	for _, p := range importance {
-		if p <= 0 {
-			return nil, fmt.Errorf("rwmp: non-positive importance %g", p)
-		}
-		if p < pmin {
-			pmin = p
-		}
+	damp, pmin, err := dampRates(importance, params)
+	if err != nil {
+		return nil, err
 	}
-	m := &Model{
+	return &Model{
 		g:      g,
 		ix:     ix,
 		params: params,
 		imp:    importance,
 		pmin:   pmin,
 		t:      1 / pmin,
-		damp:   make([]float64, g.NumNodes()),
+		damp:   damp,
+	}, nil
+}
+
+// DampRates evaluates Eq. 2 for every node of an importance vector,
+// returning the per-node dampening rates d_u. It is the same computation New
+// performs, exposed so the offline build pipeline can construct the §V path
+// indexes (which consume the damp vector) concurrently with the text index,
+// before the full model exists; both paths share dampRates, so the values
+// are guaranteed identical.
+func DampRates(importance []float64, params Params) ([]float64, error) {
+	damp, _, err := dampRates(importance, params)
+	return damp, err
+}
+
+// dampRates validates params and importance and evaluates Eq. 2 per node,
+// also reporting p_min.
+func dampRates(importance []float64, params Params) ([]float64, float64, error) {
+	if err := params.Validate(); err != nil {
+		return nil, 0, err
 	}
-	for i := range m.damp {
-		m.damp[i] = dampRate(params, importance[i], pmin)
+	pmin := math.Inf(1)
+	for _, p := range importance {
+		if p <= 0 {
+			return nil, 0, fmt.Errorf("rwmp: non-positive importance %g", p)
+		}
+		if p < pmin {
+			pmin = p
+		}
 	}
-	return m, nil
+	damp := make([]float64, len(importance))
+	for i := range damp {
+		damp[i] = dampRate(params, importance[i], pmin)
+	}
+	return damp, pmin, nil
 }
 
 // dampRate evaluates Eq. 2: d = 1 − (1−α)^(1 + log_g(p/p_min)). The result

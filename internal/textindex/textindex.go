@@ -7,8 +7,12 @@
 package textindex
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 
 	"cirank/internal/graph"
@@ -30,8 +34,10 @@ func WordCount(text string) int { return len(Tokenize(text)) }
 
 // Posting records that a term occurs TF times in the text of node Node.
 type Posting struct {
+	// Node is the graph node whose text contains the term.
 	Node graph.NodeID
-	TF   int
+	// TF is the term's occurrence count in that node's text.
+	TF int
 }
 
 // relationStats aggregates per-relation statistics used by the IR scorers.
@@ -48,23 +54,143 @@ type Index struct {
 	nodeLen  []int                     // node → word count
 }
 
-// Build indexes every node of g.
+// Build indexes every node of g, fanning the tokenization across one worker
+// per CPU. Use BuildContext to pick the fan-out or to make the build
+// cancellable; the produced index is identical for every worker count.
 func Build(g *graph.Graph) *Index {
+	ix, err := BuildContext(context.Background(), g, 0)
+	if err != nil {
+		// BuildContext only fails on cancellation, which a background
+		// context never reports.
+		panic(err)
+	}
+	return ix
+}
+
+// shard accumulates the index contribution of one contiguous node range.
+// Within a shard nodes are visited in increasing ID order, so each local
+// posting list is sorted; concatenating the shards in range order therefore
+// reproduces exactly the posting order of a sequential build.
+type shard struct {
+	postings map[string][]Posting
+	df       map[string]map[string]int
+	rels     map[string]*relationStats
+}
+
+// BuildContext indexes every node of g using up to workers goroutines over
+// contiguous node ranges (0 means one worker per available CPU, following
+// the search.Options.Workers convention). Sharding only partitions the node
+// scan: per-shard postings merge in shard order and the TF/DF/length
+// statistics merge by addition, so the result — Postings ordering included —
+// is identical to the sequential build for every worker count. A cancelled
+// ctx aborts the build with an error wrapping ctx.Err().
+func BuildContext(ctx context.Context, g *graph.Graph, workers int) (*Index, error) {
+	n := g.NumNodes()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	ix := &Index{
 		postings: make(map[string][]Posting),
 		df:       make(map[string]map[string]int),
 		rels:     make(map[string]*relationStats),
-		nodeLen:  make([]int, g.NumNodes()),
+		nodeLen:  make([]int, n),
 	}
-	for i := 0; i < g.NumNodes(); i++ {
+	shards := make([]*shard, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		sh := &shard{
+			postings: make(map[string][]Posting),
+			df:       make(map[string]map[string]int),
+			rels:     make(map[string]*relationStats),
+		}
+		shards[w] = sh
+		if workers == 1 {
+			sh.scan(ctx, g, lo, hi, ix.nodeLen)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.scan(ctx, g, lo, hi, ix.nodeLen)
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("textindex: build cancelled: %w", err)
+	}
+	// Deterministic merge: shards are concatenated in ascending node-range
+	// order, statistics are summed.
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		for t, ps := range sh.postings {
+			ix.postings[t] = append(ix.postings[t], ps...)
+		}
+		for t, byRel := range sh.df {
+			dst := ix.df[t]
+			if dst == nil {
+				dst = make(map[string]int, len(byRel))
+				ix.df[t] = dst
+			}
+			for rel, c := range byRel {
+				dst[rel] += c
+			}
+		}
+		for rel, rs := range sh.rels {
+			dst := ix.rels[rel]
+			if dst == nil {
+				dst = &relationStats{}
+				ix.rels[rel] = dst
+			}
+			dst.tuples += rs.tuples
+			dst.totalLen += rs.totalLen
+		}
+	}
+	// Nodes are visited in increasing ID order (within and across shards),
+	// so each posting list is already sorted; assert cheaply in case that
+	// ever changes.
+	for _, ps := range ix.postings {
+		if !sort.SliceIsSorted(ps, func(a, b int) bool { return ps[a].Node < ps[b].Node }) {
+			sort.Slice(ps, func(a, b int) bool { return ps[a].Node < ps[b].Node })
+		}
+	}
+	return ix, nil
+}
+
+// cancelCheckStride is how many nodes a shard scans between context polls.
+const cancelCheckStride = 256
+
+// scan accumulates nodes [lo, hi) into the shard. nodeLen is the shared
+// output slice; shards write disjoint ranges of it. On cancellation the scan
+// stops early — the caller detects ctx.Err and discards the partial result.
+func (sh *shard) scan(ctx context.Context, g *graph.Graph, lo, hi int, nodeLen []int) {
+	for i := lo; i < hi; i++ {
+		if (i-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
+			return
+		}
 		id := graph.NodeID(i)
 		node := g.Node(id)
 		terms := Tokenize(node.Text)
-		ix.nodeLen[i] = len(terms)
-		rs := ix.rels[node.Relation]
+		nodeLen[i] = len(terms)
+		rs := sh.rels[node.Relation]
 		if rs == nil {
 			rs = &relationStats{}
-			ix.rels[node.Relation] = rs
+			sh.rels[node.Relation] = rs
 		}
 		rs.tuples++
 		rs.totalLen += len(terms)
@@ -73,23 +199,15 @@ func Build(g *graph.Graph) *Index {
 			counts[t]++
 		}
 		for t, c := range counts {
-			ix.postings[t] = append(ix.postings[t], Posting{Node: id, TF: c})
-			byRel := ix.df[t]
+			sh.postings[t] = append(sh.postings[t], Posting{Node: id, TF: c})
+			byRel := sh.df[t]
 			if byRel == nil {
 				byRel = make(map[string]int, 2)
-				ix.df[t] = byRel
+				sh.df[t] = byRel
 			}
 			byRel[node.Relation]++
 		}
 	}
-	// Nodes are visited in increasing ID order, so each posting list is
-	// already sorted; assert cheaply in case that ever changes.
-	for _, ps := range ix.postings {
-		if !sort.SliceIsSorted(ps, func(a, b int) bool { return ps[a].Node < ps[b].Node }) {
-			sort.Slice(ps, func(a, b int) bool { return ps[a].Node < ps[b].Node })
-		}
-	}
-	return ix
 }
 
 // Postings returns the posting list for term (lowercased exact match),
