@@ -1,7 +1,14 @@
-# Standard entry points; CI (.github/workflows/ci.yml) runs build+vet+lint+race.
+# Standard entry points; CI (.github/workflows/ci.yml) runs the same gates
+# as separate jobs: lint -> test matrix, fuzz-smoke, coverage, bench-smoke.
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json bench-smoke check serve
+# FUZZTIME bounds each fuzz target's budget in `make fuzz` (and the CI
+# fuzz-smoke job); FUZZMINIMIZE keeps the fuzzer fuzzing instead of spending
+# its budget minimizing interesting inputs.
+FUZZTIME ?= 30s
+FUZZMINIMIZE ?= 5x
+
+.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-smoke check serve
 
 all: check
 
@@ -23,7 +30,30 @@ vet:
 # lint enforces the documentation contract: every exported identifier in
 # the listed packages must carry a doc comment.
 lint:
-	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest
+
+# diff runs the differential correctness harness: every committed seed
+# generates a random workload and cross-checks branch-and-bound against
+# exhaustive enumeration, index bounds against brute-force ground truth,
+# and every engine variant against the sequential baseline.
+diff:
+	$(GO) test -count=1 -run 'TestDifferential|TestRegression' ./internal/difftest
+
+# fuzz runs each native fuzz target for FUZZTIME. The committed corpora
+# under */testdata/fuzz are always replayed by plain `make test`; this
+# target searches for new inputs. `go test -fuzz` takes one target per
+# invocation, hence the repetition.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINIMIZE) ./internal/textindex
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINIMIZE) .
+	$(GO) test -run '^$$' -fuzz '^FuzzQueryParse$$' -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINIMIZE) .
+	$(GO) test -run '^$$' -fuzz '^FuzzServerSearchParams$$' -fuzztime $(FUZZTIME) -fuzzminimizetime $(FUZZMINIMIZE) ./internal/server
+
+# cover writes a full-repo coverage profile and prints the function table.
+# CI compares the total against COVERAGE_BASELINE.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # serve runs the HTTP query service on a generated DBLP dataset.
 # Try: curl 'localhost:8080/search?q=some+keywords&k=5&timeout=2s'
@@ -41,10 +71,14 @@ bench-json:
 	$(GO) run ./cmd/cirank-bench -out BENCH_build.json
 
 # bench-smoke is the CI gate for the build pipeline: every BenchmarkBuild
-# cell runs once (catching bit-rot in the grid itself), and the
-# build-determinism suites run under the race detector.
+# cell runs once (catching bit-rot in the grid itself), the
+# build-determinism suites run under the race detector, and a reduced grid
+# is diffed against the committed BENCH_build.json baseline. The diff is
+# warn-only (leading '-'): shared CI runners are too noisy to gate merges
+# on wall-clock, but the delta table in the log shows drift early.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkBuild$$' -benchtime 1x .
 	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch' ./internal/pathindex ./internal/textindex ./internal/graph .
+	-$(GO) run ./cmd/cirank-bench -compare BENCH_build.json -scales 0.25 -workers 1,2 -out /dev/null
 
 check: build vet lint race

@@ -6,7 +6,7 @@ import (
 )
 
 // fig2Engine builds the paper's Fig. 2 scenario through the public API.
-func fig2Engine(t *testing.T, cfg Config) *Engine {
+func fig2Engine(t testing.TB, cfg Config) *Engine {
 	t.Helper()
 	b := NewDBLPBuilder()
 	b.MustInsert("Author", "a1", "Yannis Papakonstantinou")

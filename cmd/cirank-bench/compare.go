@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Comparison mode: -compare BENCH_build.json re-runs the grid and diffs it
+// against a committed baseline, cell by cell. It exists so CI can catch a
+// build-pipeline performance cliff without chasing noise: shared runners
+// jitter by tens of percent, so only a slowdown past a generous tolerance
+// (default 3x) fails the run. Everything else is reported as a delta table
+// and left to humans.
+
+// cellKey identifies one grid cell across runs.
+type cellKey struct {
+	Stage   string
+	Scale   float64
+	Workers int
+}
+
+// cellDelta is the comparison of one matched grid cell.
+type cellDelta struct {
+	Key cellKey
+	// Ratio is current ns/op divided by baseline ns/op (> 1 is slower).
+	Ratio    float64
+	BaseNs   int64
+	CurNs    int64
+	BaseAllo int64
+	CurAllo  int64
+}
+
+// comparison is the full diff of two reports.
+type comparison struct {
+	Deltas []cellDelta
+	// BaseOnly and CurOnly list cells present in exactly one report; grid
+	// drift is worth a warning but never a failure.
+	BaseOnly []cellKey
+	CurOnly  []cellKey
+}
+
+// compareReports matches cells by (stage, scale, workers) and computes the
+// per-cell slowdown ratios, sorted worst first.
+func compareReports(base, cur report) comparison {
+	index := make(map[cellKey]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		index[cellKey{r.Stage, r.Scale, r.Workers}] = r
+	}
+	var c comparison
+	seen := make(map[cellKey]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		k := cellKey{r.Stage, r.Scale, r.Workers}
+		seen[k] = true
+		b, ok := index[k]
+		if !ok {
+			c.CurOnly = append(c.CurOnly, k)
+			continue
+		}
+		d := cellDelta{Key: k, BaseNs: b.NsPerOp, CurNs: r.NsPerOp, BaseAllo: b.Allocs, CurAllo: r.Allocs}
+		if b.NsPerOp > 0 {
+			d.Ratio = float64(r.NsPerOp) / float64(b.NsPerOp)
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, r := range base.Results {
+		k := cellKey{r.Stage, r.Scale, r.Workers}
+		if !seen[k] {
+			c.BaseOnly = append(c.BaseOnly, k)
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Ratio > c.Deltas[j].Ratio })
+	return c
+}
+
+// regressions returns the deltas whose slowdown exceeds the tolerance.
+func (c comparison) regressions(tolerance float64) []cellDelta {
+	var out []cellDelta
+	for _, d := range c.Deltas {
+		if d.Ratio > tolerance {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// render writes the delta table in a stable, line-oriented form.
+func (c comparison) render(w *os.File, tolerance float64) {
+	fmt.Fprintf(w, "cirank-bench: %d matched cells (tolerance %.1fx)\n", len(c.Deltas), tolerance)
+	for _, d := range c.Deltas {
+		mark := " "
+		if d.Ratio > tolerance {
+			mark = "!"
+		}
+		fmt.Fprintf(w, "%s %-12s scale=%-5g workers=%-2d  %.2fx  (%d -> %d ns/op, %d -> %d allocs)\n",
+			mark, d.Key.Stage, d.Key.Scale, d.Key.Workers, d.Ratio, d.BaseNs, d.CurNs, d.BaseAllo, d.CurAllo)
+	}
+	for _, k := range c.BaseOnly {
+		fmt.Fprintf(w, "? baseline-only cell: %s scale=%g workers=%d\n", k.Stage, k.Scale, k.Workers)
+	}
+	for _, k := range c.CurOnly {
+		fmt.Fprintf(w, "? new cell without baseline: %s scale=%g workers=%d\n", k.Stage, k.Scale, k.Workers)
+	}
+}
+
+// loadBaseline reads and schema-checks a committed report.
+func loadBaseline(path string) (report, error) {
+	var rep report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if rep.Schema != reportSchema {
+		return rep, fmt.Errorf("baseline %s has schema %q, want %q", path, rep.Schema, reportSchema)
+	}
+	return rep, nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func cell(stage string, scale float64, workers int, ns, allocs int64) benchResult {
+	return benchResult{Stage: stage, Scale: scale, Workers: workers, NsPerOp: ns, Allocs: allocs}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := report{Results: []benchResult{
+		cell("pipeline", 0.25, 1, 1000, 10),
+		cell("pipeline", 0.25, 2, 600, 12),
+		cell("naive", 0.25, 1, 400, 5),
+		cell("pagerank", 1, 1, 9000, 80),
+	}}
+	cur := report{Results: []benchResult{
+		cell("pipeline", 0.25, 1, 1100, 10), // 1.1x: within any sane tolerance
+		cell("pipeline", 0.25, 2, 2500, 12), // 4.17x: past the default 3x
+		cell("naive", 0.25, 1, 390, 5),      // faster
+		cell("star", 0.25, 1, 50, 1),        // new cell, no baseline
+	}}
+	c := compareReports(base, cur)
+	if len(c.Deltas) != 3 {
+		t.Fatalf("matched %d cells, want 3", len(c.Deltas))
+	}
+	// Sorted worst first.
+	if k := c.Deltas[0].Key; k.Stage != "pipeline" || k.Workers != 2 {
+		t.Fatalf("worst cell is %+v, want pipeline/workers=2", k)
+	}
+	if r := c.Deltas[0].Ratio; r < 4.1 || r > 4.2 {
+		t.Fatalf("worst ratio %g, want ~4.17", r)
+	}
+	if len(c.CurOnly) != 1 || c.CurOnly[0].Stage != "star" {
+		t.Fatalf("CurOnly = %+v, want the star cell", c.CurOnly)
+	}
+	if len(c.BaseOnly) != 1 || c.BaseOnly[0].Stage != "pagerank" {
+		t.Fatalf("BaseOnly = %+v, want the pagerank cell", c.BaseOnly)
+	}
+	if reg := c.regressions(3); len(reg) != 1 || reg[0].Key.Workers != 2 {
+		t.Fatalf("regressions(3) = %+v, want exactly the 4.17x cell", reg)
+	}
+	if reg := c.regressions(5); len(reg) != 0 {
+		t.Fatalf("regressions(5) = %+v, want none", reg)
+	}
+}
+
+func TestCompareZeroBaselineNs(t *testing.T) {
+	base := report{Results: []benchResult{cell("pipeline", 1, 1, 0, 0)}}
+	cur := report{Results: []benchResult{cell("pipeline", 1, 1, 500, 0)}}
+	c := compareReports(base, cur)
+	// A corrupt zero baseline must not divide by zero or count as regression.
+	if len(c.Deltas) != 1 || c.Deltas[0].Ratio != 0 {
+		t.Fatalf("deltas = %+v, want one cell with ratio 0", c.Deltas)
+	}
+	if reg := c.regressions(3); len(reg) != 0 {
+		t.Fatalf("regressions = %+v, want none", reg)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"schema":"cirank/bench-build/v1","results":[]}`), 0o644)
+	if _, err := loadBaseline(good); err != nil {
+		t.Fatalf("good baseline rejected: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"something/else"}`), 0o644)
+	if _, err := loadBaseline(bad); err == nil {
+		t.Fatal("wrong-schema baseline accepted")
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	garbled := filepath.Join(dir, "garbled.json")
+	os.WriteFile(garbled, []byte(`{"schema":`), 0o644)
+	if _, err := loadBaseline(garbled); err == nil {
+		t.Fatal("garbled baseline accepted")
+	}
+}

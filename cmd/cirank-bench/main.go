@@ -8,6 +8,13 @@
 //
 //	cirank-bench -out BENCH_build.json
 //	cirank-bench -dataset dblp -scales 0.25,1 -workers 1,2,4,8 -out -
+//	cirank-bench -compare BENCH_build.json -scales 0.25 -out -
+//
+// With -compare the freshly measured grid is diffed against the committed
+// baseline cell by cell (matched on stage, scale and workers) and the exit
+// status is nonzero when any cell slowed down by more than -tolerance
+// (default 3x — generous on purpose, so shared-runner jitter passes and
+// only real cliffs fail).
 //
 // Two derived columns make the trajectory readable at a glance:
 // speedup_vs_w1 (same stage, workers=1) measures the parallel fan-out and
@@ -29,6 +36,10 @@ import (
 
 	"cirank/internal/buildbench"
 )
+
+// reportSchema names the report document format; -compare refuses baselines
+// written under any other schema.
+const reportSchema = "cirank/bench-build/v1"
 
 // benchResult is one grid cell of the report.
 type benchResult struct {
@@ -63,13 +74,26 @@ type report struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_build.json", "output path ('-' for stdout)")
-		dataset = flag.String("dataset", "dblp", "dataset to generate: imdb or dblp")
-		scales  = flag.String("scales", "0.25,1", "comma-separated dataset scale multipliers")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
-		seed    = flag.Int64("seed", 42, "generation seed")
+		out       = flag.String("out", "BENCH_build.json", "output path ('-' for stdout)")
+		dataset   = flag.String("dataset", "dblp", "dataset to generate: imdb or dblp")
+		scales    = flag.String("scales", "0.25,1", "comma-separated dataset scale multipliers")
+		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+		seed      = flag.Int64("seed", 42, "generation seed")
+		compare   = flag.String("compare", "", "baseline report to diff against (exit 1 past -tolerance)")
+		tolerance = flag.Float64("tolerance", 3.0, "max allowed per-cell slowdown ratio in -compare mode")
 	)
 	flag.Parse()
+
+	var baseline report
+	if *compare != "" {
+		var err error
+		if baseline, err = loadBaseline(*compare); err != nil {
+			fail(err)
+		}
+		if *tolerance <= 1 {
+			fail(fmt.Errorf("bad -tolerance %g: must exceed 1", *tolerance))
+		}
+	}
 
 	scaleList, err := parseFloats(*scales)
 	if err != nil {
@@ -81,7 +105,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     "cirank/bench-build/v1",
+		Schema:     reportSchema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -109,12 +133,24 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fail(err)
+	} else {
+		fmt.Fprintf(os.Stderr, "cirank-bench: wrote %s (%d results)\n", *out, len(rep.Results))
 	}
-	fmt.Fprintf(os.Stderr, "cirank-bench: wrote %s (%d results)\n", *out, len(rep.Results))
+
+	if *compare != "" {
+		if baseline.Dataset != rep.Dataset || baseline.Seed != rep.Seed {
+			fmt.Fprintf(os.Stderr, "cirank-bench: warning: baseline is %s/seed %d, this run is %s/seed %d\n",
+				baseline.Dataset, baseline.Seed, rep.Dataset, rep.Seed)
+		}
+		c := compareReports(baseline, rep)
+		c.render(os.Stderr, *tolerance)
+		if reg := c.regressions(*tolerance); len(reg) > 0 {
+			fail(fmt.Errorf("%d cells regressed past %gx", len(reg), *tolerance))
+		}
+		fmt.Fprintln(os.Stderr, "cirank-bench: no cell regressed past the tolerance")
+	}
 }
 
 // runScale measures every stage × worker cell for one loaded workload and

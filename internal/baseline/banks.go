@@ -31,6 +31,7 @@ import (
 // highest-prestige keyword-matching node before scoring (falling back to
 // the given rooting when the index is absent or nothing matches).
 type Banks struct {
+	// G is the data graph the scorer reads structure from.
 	G *graph.Graph
 	// Ix, when set, lets Score identify keyword-matching nodes for the
 	// BANKS-style re-rooting.

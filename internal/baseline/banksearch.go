@@ -21,7 +21,9 @@ import (
 // an independent answer generator for cross-checking the main search: every
 // tree it emits must validate as a reduced answer.
 type BanksSearch struct {
-	G  *graph.Graph
+	// G is the data graph the scorer reads structure from.
+	G *graph.Graph
+	// Ix locates keyword matches and term statistics.
 	Ix *textindex.Index
 	// Scorer ranks the discovered trees (defaults to NewBanks(G, Ix)).
 	Scorer Scorer

@@ -35,7 +35,9 @@ type Scorer interface {
 
 // Ranked pairs a tree with its score under some scorer.
 type Ranked struct {
-	Tree  *jtt.Tree
+	// Tree is the scored candidate answer.
+	Tree *jtt.Tree
+	// Score is the scorer's value for Tree (higher ranks first).
 	Score float64
 }
 
@@ -78,7 +80,9 @@ func keyHash(s string) uint64 {
 //	             ((1−s) + s·dl_v/avdl_v) · ln(idf_k)
 //	idf_k      = (N_Rel(v) + 1) / df_k(Rel(v))
 type Discover2 struct {
-	G  *graph.Graph
+	// G is the data graph the scorer reads structure from.
+	G *graph.Graph
+	// Ix locates keyword matches and term statistics.
 	Ix *textindex.Index
 	// S is the length-normalization slope; the literature uses 0.2.
 	S float64

@@ -23,7 +23,9 @@ import (
 // as BANKS — which is exactly the limitation the CI-Rank paper critiques:
 // choosing a different free intermediate node does not change the score.
 type Bidirectional struct {
-	G  *graph.Graph
+	// G is the data graph the scorer reads structure from.
+	G *graph.Graph
+	// Ix locates keyword matches and term statistics.
 	Ix *textindex.Index
 	// Scorer ranks discovered trees (defaults to NewBanks(G, Ix)).
 	Scorer Scorer

@@ -23,7 +23,9 @@ import (
 // the faithful related-work system and as the importance oracle's sanity
 // check (objects near many keyword matches should rank high).
 type ObjectRank struct {
-	G  *graph.Graph
+	// G is the data graph the scorer reads structure from.
+	G *graph.Graph
+	// Ix locates keyword matches and term statistics.
 	Ix *textindex.Index
 	// Teleport is the random-walk restart probability (default 0.15).
 	Teleport float64
@@ -42,7 +44,9 @@ func NewObjectRank(g *graph.Graph, ix *textindex.Index) *ObjectRank {
 
 // NodeScore is one ranked object.
 type NodeScore struct {
-	Node  graph.NodeID
+	// Node is the ranked object.
+	Node graph.NodeID
+	// Score is its keyword-specific ObjectRank value.
 	Score float64
 }
 

@@ -31,7 +31,9 @@ import (
 // mildly; both degenerate to constants across same-shape, same-coverage
 // candidates, again matching the paper's analysis.
 type Spark struct {
-	G  *graph.Graph
+	// G is the data graph the scorer reads structure from.
+	G *graph.Graph
+	// Ix locates keyword matches and term statistics.
 	Ix *textindex.Index
 	// S is the length-normalization slope (0.2 as in DISCOVER2).
 	S float64

@@ -10,10 +10,10 @@ import (
 
 // DBLPConfig sizes the synthetic DBLP dataset (schema of Fig. 1(a)).
 type DBLPConfig struct {
-	Seed        int64
-	Papers      int
-	Authors     int
-	Conferences int
+	// Seed drives the generator.
+	Seed int64
+	// Papers, Authors and Conferences are the entity counts.
+	Papers, Authors, Conferences int
 	// AuthorsPerPaper is the mean number of authors on a paper (min 1).
 	AuthorsPerPaper int
 	// CitationsPerPaper is the mean number of outgoing citations per

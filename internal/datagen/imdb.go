@@ -11,9 +11,13 @@ import (
 // Dataset bundles a generated database with its schema-level configuration
 // and the planted ground truth the evaluation oracle uses.
 type Dataset struct {
-	Kind    string // "imdb" or "dblp"
-	DB      *relational.Database
-	Schema  *relational.Schema
+	// Kind names the generator: "imdb" or "dblp".
+	Kind string
+	// DB is the populated database.
+	DB *relational.Database
+	// Schema declares DB's tables and relationships.
+	Schema *relational.Schema
+	// Weights carries the per-relationship edge weights of Table I.
 	Weights graph.WeightTable
 	// popularity records the planted importance of connector tuples
 	// (movies, papers): the ground truth that replaces the paper's human
@@ -35,13 +39,10 @@ func (d *Dataset) setPop(table, key string, v float64) {
 // experiment scales are far smaller but preserve the shape (Zipf popularity,
 // bipartite person–movie structure, name sharing). See DESIGN.md §3.
 type IMDBConfig struct {
-	Seed      int64
-	Movies    int
-	Actors    int
-	Actresses int
-	Directors int
-	Producers int
-	Companies int
+	// Seed drives the generator.
+	Seed int64
+	// Movies through Companies are the entity counts per table.
+	Movies, Actors, Actresses, Directors, Producers, Companies int
 	// PopularitySkew is the Zipf exponent of movie popularity: popular
 	// movies attract more cast links (and thus more importance).
 	PopularitySkew float64

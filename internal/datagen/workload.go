@@ -14,10 +14,14 @@ import (
 
 // Built is a dataset materialized into the search substrate.
 type Built struct {
+	// Dataset is the generated source data with its planted ground truth.
 	Dataset *Dataset
-	G       *graph.Graph
+	// G is the data graph built from the dataset.
+	G *graph.Graph
+	// Mapping translates between tuples and graph nodes.
 	Mapping *relational.Mapping
-	Ix      *textindex.Index
+	// Ix indexes the node texts for keyword matching.
+	Ix *textindex.Index
 	// Importance holds the global random-walk importance values (Eq. 1
 	// with the default teleport). The workload oracle uses them as the
 	// fame signal for person entities: "the user meant the famous one."
@@ -99,7 +103,9 @@ func (c Class) String() string {
 // Query is a generated keyword query with its planted ground truth — the
 // substitute for the paper's human-labeled AOL queries (DESIGN.md §3).
 type Query struct {
+	// Terms are the query keywords (already lowercased).
 	Terms []string
+	// Class is the generation scenario the query instantiates.
 	Class Class
 	// Gold is the intended best answer tree.
 	Gold *jtt.Tree
@@ -120,14 +126,14 @@ type Query struct {
 
 // WorkloadConfig controls query generation.
 type WorkloadConfig struct {
-	Seed  int64
+	// Seed drives the query sampler.
+	Seed int64
+	// Count is the number of queries to generate.
 	Count int
-	// Class mix; fractions must sum to ≤ 1, the remainder becomes
-	// AdjacentPair queries.
-	FracSingle      float64
-	FracNonAdjacent float64
-	FracMulti       float64
-	FracName        float64
+	// FracSingle, FracNonAdjacent, FracMulti and FracName set the class
+	// mix; fractions must sum to ≤ 1, the remainder becomes AdjacentPair
+	// queries.
+	FracSingle, FracNonAdjacent, FracMulti, FracName float64
 	// Ambiguous makes endpoint tokens prefer shared (high-DF) words, so
 	// queries admit several entity interpretations and ranking quality is
 	// what separates the methods.

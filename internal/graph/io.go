@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
 // The binary graph format is a simple length-prefixed layout:
@@ -90,7 +91,17 @@ func Read(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: reading node count: %w", err)
 	}
-	b := NewBuilder(int(numNodes))
+	if numNodes > maxReadNodes {
+		return nil, fmt.Errorf("graph: node count %d exceeds limit %d", numNodes, maxReadNodes)
+	}
+	// Cap the preallocation hint: the node count is attacker-controlled until
+	// the per-node reads below validate it against the actual stream length,
+	// so a huge count must not translate into a huge up-front allocation.
+	hint := int(numNodes)
+	if hint > maxPreallocNodes {
+		hint = maxPreallocNodes
+	}
+	b := NewBuilder(hint)
 	for i := uint64(0); i < numNodes; i++ {
 		var n Node
 		if n.Relation, err = readString(br); err != nil {
@@ -128,6 +139,11 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 		if uint64(from) >= numNodes || uint64(to) >= numNodes {
 			return nil, fmt.Errorf("graph: edge %d endpoints (%d, %d) out of range", i, from, to)
+		}
+		// AddEdge panics on non-positive weights (a programming error in
+		// process); on the wire it is corruption and must surface as an error.
+		if !(w > 0) || math.IsInf(w, 1) {
+			return nil, fmt.Errorf("graph: edge %d has invalid weight %g", i, w)
 		}
 		b.AddEdge(NodeID(from), NodeID(to), w)
 	}
@@ -183,7 +199,16 @@ func readU64(r io.Reader) (uint64, error) {
 	return binary.LittleEndian.Uint64(buf[:]), nil
 }
 
-const maxStringLen = 1 << 24 // 16 MiB guards against corrupt length prefixes
+const (
+	maxStringLen = 1 << 24 // 16 MiB guards against corrupt length prefixes
+	// maxReadNodes bounds the node count a serialized graph may declare:
+	// NodeID is an int32, so anything larger cannot be addressed anyway.
+	maxReadNodes = 1<<31 - 1
+	// maxPreallocNodes caps the builder size hint taken from the (not yet
+	// validated) header, so a corrupt count cannot allocate gigabytes before
+	// the stream runs dry.
+	maxPreallocNodes = 1 << 16
+)
 
 func readString(r io.Reader) (string, error) {
 	n, err := readU32(r)

@@ -59,6 +59,8 @@ func (t *Tree) Nodes() []graph.NodeID {
 // Edge is an undirected tree edge, stored with Child pointing away from the
 // root (Parent is nearer the root).
 type Edge struct {
+	// Child and Parent are the edge's endpoints; Parent is the one nearer
+	// the tree root.
 	Child, Parent graph.NodeID
 }
 

@@ -92,8 +92,17 @@ func ReadStar(r io.Reader, g *graph.Graph) (*StarIndex, error) {
 	maxDepth := int(binary.LittleEndian.Uint32(hdr[4:]))
 	numNodes := binary.LittleEndian.Uint64(hdr[8:])
 	numStar := binary.LittleEndian.Uint64(hdr[16:])
-	if int(numNodes) != g.NumNodes() {
+	// Validate every header field before sizing any allocation from it: a
+	// corrupt stream must fail with an error, not a makeslice panic or an
+	// absurd up-front allocation.
+	if maxDepth < 1 || maxDepth > maxUint8Depth {
+		return nil, fmt.Errorf("pathindex: header maxDepth %d outside [1, %d]", maxDepth, maxUint8Depth)
+	}
+	if numNodes != uint64(g.NumNodes()) {
 		return nil, fmt.Errorf("pathindex: index built over %d nodes, graph has %d", numNodes, g.NumNodes())
+	}
+	if numStar > numNodes {
+		return nil, fmt.Errorf("pathindex: star count %d exceeds node count %d", numStar, numNodes)
 	}
 	ix := &StarIndex{
 		g:        g,

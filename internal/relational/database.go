@@ -186,6 +186,9 @@ func (db *Database) EachLink(fn func(rel Relationship, fromKey, toKey string)) {
 	}
 }
 
+// UsedRelationships returns the distinct relationships that at least one
+// link instantiates, sorted by name. A schema may declare relationships the
+// data never uses; graph construction only needs these.
 func (db *Database) UsedRelationships() []Relationship {
 	seen := make(map[string]*Relationship)
 	for _, l := range db.links {

@@ -46,7 +46,9 @@ func (r *Relationship) toLabel() string {
 
 // Schema declares the tables and relationships of a database.
 type Schema struct {
-	Tables        []string
+	// Tables lists the table names; each tuple belongs to exactly one.
+	Tables []string
+	// Relationships lists the declared link types between tables.
 	Relationships []Relationship
 }
 

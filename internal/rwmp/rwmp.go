@@ -47,13 +47,15 @@ type Params struct {
 // DefaultParams returns the paper's chosen operating point.
 func DefaultParams() Params { return Params{Alpha: 0.15, Group: 20} }
 
-// Validate checks the parameters are in their mathematical domain.
+// Validate checks the parameters are in their mathematical domain. The
+// comparisons are phrased so that NaN (for which every ordered comparison is
+// false) is rejected too — snapshot loading feeds this raw float bits.
 func (p Params) Validate() error {
-	if p.Alpha <= 0 || p.Alpha >= 1 {
+	if !(p.Alpha > 0 && p.Alpha < 1) {
 		return fmt.Errorf("rwmp: alpha %g outside (0, 1)", p.Alpha)
 	}
-	if p.Group <= 1 {
-		return fmt.Errorf("rwmp: group size %g must exceed 1", p.Group)
+	if !(p.Group > 1) || math.IsInf(p.Group, 1) {
+		return fmt.Errorf("rwmp: group size %g must be finite and exceed 1", p.Group)
 	}
 	return nil
 }
@@ -113,8 +115,10 @@ func dampRates(importance []float64, params Params) ([]float64, float64, error) 
 	}
 	pmin := math.Inf(1)
 	for _, p := range importance {
-		if p <= 0 {
-			return nil, 0, fmt.Errorf("rwmp: non-positive importance %g", p)
+		// The negated comparison also rejects NaN; infinities would poison
+		// the p/p_min ratios of Eq. 2 downstream.
+		if !(p > 0) || math.IsInf(p, 1) {
+			return nil, 0, fmt.Errorf("rwmp: importance %g is not a positive finite value", p)
 		}
 		if p < pmin {
 			pmin = p

@@ -80,13 +80,42 @@ func (st *bbState) upperBound(c *candidate) float64 {
 
 	// Per-source score bounds (the complete-estimate side).
 	flowSum := 0.0
-	if missing == 0 {
-		// Adding sources only shrinks each node's min, so the current
-		// exact node scores are the bounds.
+	switch {
+	case missing == 0 && len(c.sources) == 1:
+		// A lone source scores its own generation under Eq. 3's singleton
+		// rule, but a completion that adds a second source switches it to
+		// the min-inflow regime, which can EXCEED the generation when the
+		// newcomer generates more. Bound that regime by the best addable
+		// node's messages delivered through the root; the generation stays
+		// as the bound for completions that add no source. (Pruning on the
+		// generation alone loses optimal branching answers: the pruned
+		// candidate can be the merge partner a high-generation route needs.)
+		v := c.sources[0]
+		bound := m.Generation(v, qc.terms)
+		bestAdd := 0.0
+		for ti := range qc.terms {
+			if sup := st.bestSupply(ti, c); sup > bestAdd {
+				bestAdd = sup
+			}
+		}
+		if bestAdd > 0 {
+			factor := m.PathFactor(c.tree, root, v)
+			if v != root {
+				factor *= dampRoot
+			}
+			if alt := bestAdd * factor; alt > bound {
+				bound = alt
+			}
+		}
+		flowSum = bound
+	case missing == 0:
+		// With two or more sources every node score is already a min over
+		// other-source inflows; adding sources only shrinks each node's
+		// min, so the current exact node scores are the bounds.
 		for _, v := range c.sources {
 			flowSum += m.NodeScore(c.tree, v, c.sources, qc.terms)
 		}
-	} else {
+	default:
 		// Each in-tree source's score is capped by flows from existing
 		// sources (exact within C) and by the best supplement flow
 		// entering at the root and descending to v.

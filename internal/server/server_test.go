@@ -16,7 +16,7 @@ import (
 // smallEngine builds a tiny bibliography engine through the public API: two
 // authors, two papers, one shared coauthorship — enough for a ranked
 // multi-term answer.
-func smallEngine(t *testing.T) *cirank.Engine {
+func smallEngine(t testing.TB) *cirank.Engine {
 	t.Helper()
 	b := cirank.NewDBLPBuilder()
 	b.MustInsert("Author", "a1", "jeffrey ullman")

@@ -1,0 +1,51 @@
+package textindex
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize fuzzes the single tokenization rule every subsystem shares
+// (index construction, query parsing, word counts). Its invariants are load
+// bearing: a token that were empty, mixed-case or contained separator runes
+// would silently desynchronize |v|, |v ∩ Q| and tf between the index and
+// the scoring model.
+func FuzzTokenize(f *testing.F) {
+	f.Add("The TSIMMIS Project")
+	f.Add("  ")
+	f.Add("a-b_c.d,e")
+	f.Add("ünïcøde Wörds 123abc")
+	f.Add("\x00\xff\xfe broken utf8 \xc3\x28")
+	f.Add("İstanbul ﬂag ǅungla")
+	f.Fuzz(func(t *testing.T, text string) {
+		toks := Tokenize(text)
+		for i, tok := range toks {
+			if tok == "" {
+				t.Fatalf("token %d of %q is empty", i, text)
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q of %q is not lowercase", tok, text)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsNumber(r) {
+					t.Fatalf("token %q of %q contains separator rune %q", tok, text, r)
+				}
+			}
+		}
+		if got := WordCount(text); got != len(toks) {
+			t.Fatalf("WordCount(%q) = %d, Tokenize yields %d tokens", text, got, len(toks))
+		}
+		// Re-tokenizing the joined tokens must be a fixed point: tokens
+		// contain no separators and lowercasing is idempotent.
+		again := Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("re-tokenizing %q tokens changed count %d -> %d", text, len(toks), len(again))
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("re-tokenizing %q changed token %d: %q -> %q", text, i, toks[i], again[i])
+			}
+		}
+	})
+}

@@ -118,11 +118,18 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("cirank: reading index flag: %w", err)
 	}
 	var starIdx *pathindex.StarIndex
-	if hasIdx == 1 {
+	switch hasIdx {
+	case 0:
+		// no index in the snapshot
+	case 1:
 		starIdx, err = pathindex.ReadStar(br, g)
 		if err != nil {
 			return nil, fmt.Errorf("cirank: reading star index: %w", err)
 		}
+	default:
+		// Any other value is corruption; treating it as "no index" would
+		// silently drop the remainder of the stream.
+		return nil, fmt.Errorf("cirank: invalid index flag %d in snapshot", hasIdx)
 	}
 	ix := textindex.Build(g)
 	model, err := rwmp.New(g, ix, imp, rwmp.Params{Alpha: alpha, Group: group})
