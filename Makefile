@@ -30,7 +30,7 @@ vet:
 # lint enforces the documentation contract: every exported identifier in
 # the listed packages must carry a doc comment.
 lint:
-	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest internal/mmapio
 
 # diff runs the differential correctness harness: every committed seed
 # generates a random workload and cross-checks branch-and-bound against
@@ -64,11 +64,14 @@ serve:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# bench-json regenerates BENCH_build.json, the tracked offline-build
-# performance trajectory (scale x workers x stage, including the frozen
-# map-based baseline). Commit the result when the pipeline changes.
+# bench-json regenerates the tracked performance trajectories: the
+# offline-build grid (BENCH_build.json: scale x workers x stage, including
+# the frozen map-based baseline) and the engine-startup comparison
+# (BENCH_load.json: cold build vs stream snapshot load vs zero-copy mmap
+# open). Commit the results when the pipeline or snapshot format changes.
 bench-json:
 	$(GO) run ./cmd/cirank-bench -out BENCH_build.json
+	$(GO) run ./cmd/cirank-bench -mode load -out BENCH_load.json
 
 # bench-smoke is the CI gate for the build pipeline: every BenchmarkBuild
 # cell runs once (catching bit-rot in the grid itself), the
@@ -80,5 +83,6 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkBuild$$' -benchtime 1x .
 	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch' ./internal/pathindex ./internal/textindex ./internal/graph .
 	-$(GO) run ./cmd/cirank-bench -compare BENCH_build.json -scales 0.25 -workers 1,2 -out /dev/null
+	-$(GO) run ./cmd/cirank-bench -mode load -compare BENCH_load.json -scales 0.25 -out /dev/null
 
 check: build vet lint race

@@ -57,13 +57,34 @@ func (m IndexMemStats) String() string {
 	return fmt.Sprintf("%s: %d nodes, %d entries, %.1f MiB", m.Kind, m.StarNodes, m.Entries, float64(m.Bytes)/(1<<20))
 }
 
+// Engine data provenance values reported in BuildStats.Source.
+const (
+	// SourceBuild marks an engine assembled by the offline build pipeline
+	// (Builder.Build / BuildContext): every stage actually ran.
+	SourceBuild = "build"
+	// SourceStream marks an engine decoded from an io.Reader snapshot
+	// (LoadEngine); all arrays were copied off the stream and the expensive
+	// build stages were skipped.
+	SourceStream = "stream"
+	// SourceMmap marks an engine opened from a memory-mapped snapshot file
+	// (Open); flat arrays alias the mapping zero-copy where the platform
+	// allows and the expensive build stages were skipped.
+	SourceMmap = "mmap"
+)
+
 // BuildStats reports what the offline build pipeline did: per-stage
 // wall-clock durations, fan-out and throughput, plus the path index's
 // memory footprint. Builder.BuildContext runs the text-index stage
 // concurrently with the PageRank → path-index chain, so TextIndex overlaps
 // PageRank and PathIndex in wall-clock terms. Engines loaded from a
-// snapshot report the zero value.
+// snapshot report zero stage timings with Source saying how the data
+// arrived instead.
 type BuildStats struct {
+	// Source records where the engine's data came from: SourceBuild,
+	// SourceStream or SourceMmap. Loaded engines keep every stage at zero —
+	// the point of a snapshot is that PageRank, the star index and the text
+	// index are read back, not recomputed.
+	Source string
 	// Total is the wall-clock time of the whole build.
 	Total time.Duration
 	// Workers is the resolved worker count shared by the parallel stages

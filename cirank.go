@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"cirank/internal/graph"
@@ -189,18 +190,45 @@ type Engine struct {
 	imp      []float64
 	lookup   lookupFunc
 	workers  int
+	// mapEntries is the complete (table, key) → node mapping, including
+	// every merged-away role key. Snapshots persist it so Importance keeps
+	// resolving merged keys after a reload.
+	mapEntries []relational.MappingEntry
 	// scores and cachedIdx are the engine-lifetime memo caches (nil when
 	// Config.CacheSize < 0).
 	scores    *rwmp.ScoreCache
 	cachedIdx *pathindex.CachedIndex
-	// buildStats records what the offline build pipeline did (zero for
-	// engines loaded from a snapshot).
+	// buildStats records what the offline build pipeline did. Engines
+	// loaded from a snapshot report zero stage timings with Source set to
+	// how the data arrived (stream decode or mmap open).
 	buildStats BuildStats
+	// closer releases the snapshot mapping backing a zero-copy engine
+	// (nil otherwise); closeOnce makes Close idempotent.
+	closer    func() error
+	closeOnce sync.Once
+}
+
+// Close releases the resources backing the engine — for engines returned by
+// Open, the snapshot file's memory mapping. It must not be called while
+// queries are in flight: a zero-copy engine reads the mapped file on every
+// search, and unmapping under a live query is a crash, not an error. Close
+// is idempotent and safe for concurrent use; engines built in process or
+// loaded from an io.Reader hold no external resources, so their Close is a
+// no-op returning nil.
+func (e *Engine) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		if e.closer != nil {
+			err = e.closer()
+		}
+	})
+	return err
 }
 
 // BuildStats reports the offline build pipeline's per-stage wall-clock
 // timings, fan-out and path-index memory footprint. Engines loaded from a
-// snapshot report the zero value (their expensive stages were skipped).
+// snapshot report zero stage timings — their expensive stages were skipped
+// entirely — with Source recording how the data arrived.
 func (e *Engine) BuildStats() BuildStats { return e.buildStats }
 
 // CacheStats reports cumulative hit/miss counts of the engine's query-path
@@ -507,15 +535,17 @@ func buildEngine(ctx context.Context, g *graph.Graph, mp *relational.Mapping, is
 		return nil, err
 	}
 	e := &Engine{
-		g:        g,
-		ix:       ix,
-		model:    model,
-		searcher: search.New(model),
-		imp:      imp,
-		lookup:   func(table, key string) (graph.NodeID, bool) { return mp.NodeOf(table, key) },
-		workers:  workers,
-		starIdx:  starIdx,
+		g:          g,
+		ix:         ix,
+		model:      model,
+		searcher:   search.New(model),
+		imp:        imp,
+		lookup:     func(table, key string) (graph.NodeID, bool) { return mp.NodeOf(table, key) },
+		workers:    workers,
+		starIdx:    starIdx,
+		mapEntries: mp.Entries(),
 	}
+	stats.Source = SourceBuild
 	if cfg.CacheSize >= 0 {
 		e.scores = rwmp.NewScoreCache(model, cfg.CacheSize)
 		if starIdx != nil {

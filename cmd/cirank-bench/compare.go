@@ -104,8 +104,9 @@ func (c comparison) render(w *os.File, tolerance float64) {
 	}
 }
 
-// loadBaseline reads and schema-checks a committed report.
-func loadBaseline(path string) (report, error) {
+// loadBaseline reads and schema-checks a committed report against the
+// current run's schema (build grid or load mode).
+func loadBaseline(path, schema string) (report, error) {
 	var rep report
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -114,8 +115,8 @@ func loadBaseline(path string) (report, error) {
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		return rep, fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	if rep.Schema != reportSchema {
-		return rep, fmt.Errorf("baseline %s has schema %q, want %q", path, rep.Schema, reportSchema)
+	if rep.Schema != schema {
+		return rep, fmt.Errorf("baseline %s has schema %q, want %q", path, rep.Schema, schema)
 	}
 	return rep, nil
 }

@@ -65,20 +65,23 @@ func TestLoadBaseline(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.json")
 	os.WriteFile(good, []byte(`{"schema":"cirank/bench-build/v1","results":[]}`), 0o644)
-	if _, err := loadBaseline(good); err != nil {
+	if _, err := loadBaseline(good, reportSchema); err != nil {
 		t.Fatalf("good baseline rejected: %v", err)
+	}
+	if _, err := loadBaseline(good, loadSchema); err == nil {
+		t.Fatal("build-schema baseline accepted for a load-mode run")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{"schema":"something/else"}`), 0o644)
-	if _, err := loadBaseline(bad); err == nil {
+	if _, err := loadBaseline(bad, reportSchema); err == nil {
 		t.Fatal("wrong-schema baseline accepted")
 	}
-	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := loadBaseline(filepath.Join(dir, "missing.json"), reportSchema); err == nil {
 		t.Fatal("missing baseline accepted")
 	}
 	garbled := filepath.Join(dir, "garbled.json")
 	os.WriteFile(garbled, []byte(`{"schema":`), 0o644)
-	if _, err := loadBaseline(garbled); err == nil {
+	if _, err := loadBaseline(garbled, reportSchema); err == nil {
 		t.Fatal("garbled baseline accepted")
 	}
 }

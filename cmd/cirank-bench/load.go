@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cirank"
+	"cirank/internal/datagen"
+)
+
+// Load mode (-mode load): measures the three ways an engine reaches memory —
+// the cold offline build, a stream snapshot load and a zero-copy mmap open —
+// per scale, all at workers=1 so the cells are comparable across machines.
+// The grid quantifies what the sectioned snapshot format buys: a load must
+// skip PageRank, the star index and the text-index build entirely, and the
+// mmap path additionally skips decoding the flat arrays.
+
+// runLoadScale builds one engine for the scale, snapshots it, and times the
+// build / stream-load / mmap-open cells against that snapshot.
+func runLoadScale(dataset string, scale float64, seed int64) ([]benchResult, error) {
+	ds, b, err := generate(dataset, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Replay(b.InsertEntity, b.Relate); err != nil {
+		return nil, err
+	}
+	cfg := cirank.DefaultConfig()
+	cfg.Workers = 1
+	eng, err := b.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		return nil, err
+	}
+	snap := buf.Bytes()
+	dir, err := os.MkdirTemp("", "cirank-bench-load")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "eng.snap")
+	if err := os.WriteFile(path, snap, 0o644); err != nil {
+		return nil, err
+	}
+	nodes, edges := eng.NumNodes(), eng.NumEdges()
+	fmt.Fprintf(os.Stderr, "cirank-bench: %s scale %g: %d nodes, %d edges, snapshot %d bytes\n",
+		dataset, scale, nodes, edges, len(snap))
+
+	cell := func(stage string, f func(b *testing.B)) benchResult {
+		r := testing.Benchmark(f)
+		res := benchResult{
+			Stage:   stage,
+			Scale:   scale,
+			Nodes:   nodes,
+			Edges:   edges,
+			Workers: 1,
+			N:       r.N,
+			NsPerOp: r.NsPerOp(),
+			BytesOp: r.AllocedBytesPerOp(),
+			Allocs:  r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "cirank-bench:   stage=%s: %d ns/op (%d iters)\n", stage, res.NsPerOp, res.N)
+		return res
+	}
+
+	out := []benchResult{
+		cell("build", func(tb *testing.B) {
+			for i := 0; i < tb.N; i++ {
+				bld := newBuilder(dataset)
+				if err := ds.Replay(bld.InsertEntity, bld.Relate); err != nil {
+					tb.Fatal(err)
+				}
+				if _, err := bld.Build(cfg); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}),
+		cell("stream-load", func(tb *testing.B) {
+			for i := 0; i < tb.N; i++ {
+				if _, err := cirank.LoadEngine(bytes.NewReader(snap)); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}),
+		cell("mmap-open", func(tb *testing.B) {
+			for i := 0; i < tb.N; i++ {
+				e, err := cirank.Open(path)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				if err := e.Close(); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}),
+	}
+
+	buildNs := out[0].NsPerOp
+	for i := range out {
+		if buildNs > 0 && out[i].NsPerOp > 0 {
+			out[i].SpeedupVsBuild = round2(float64(buildNs) / float64(out[i].NsPerOp))
+		}
+	}
+	return out, nil
+}
+
+// generate creates the dataset and a matching public builder.
+func generate(dataset string, scale float64, seed int64) (*datagen.Dataset, *cirank.Builder, error) {
+	switch dataset {
+	case "imdb":
+		ds, err := datagen.GenerateIMDB(datagen.DefaultIMDBConfig(seed).Scale(scale))
+		return ds, cirank.NewIMDBBuilder(), err
+	case "dblp":
+		ds, err := datagen.GenerateDBLP(datagen.DefaultDBLPConfig(seed).Scale(scale))
+		return ds, cirank.NewDBLPBuilder(), err
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (want imdb or dblp)", dataset)
+	}
+}
+
+// newBuilder returns a fresh schema-matched builder (dataset is already
+// validated by generate).
+func newBuilder(dataset string) *cirank.Builder {
+	if dataset == "imdb" {
+		return cirank.NewIMDBBuilder()
+	}
+	return cirank.NewDBLPBuilder()
+}

@@ -9,6 +9,13 @@
 //	cirank-bench -out BENCH_build.json
 //	cirank-bench -dataset dblp -scales 0.25,1 -workers 1,2,4,8 -out -
 //	cirank-bench -compare BENCH_build.json -scales 0.25 -out -
+//	cirank-bench -mode load -out BENCH_load.json
+//
+// -mode load measures engine startup instead of the build grid: for each
+// scale it times the cold public-API build, a stream snapshot load
+// (cirank.LoadEngine) and a zero-copy mmap open (cirank.Open), writing
+// BENCH_load.json under its own schema. The speedup_vs_build column is the
+// point of the exercise: how much startup time a snapshot saves.
 //
 // With -compare the freshly measured grid is diffed against the committed
 // baseline cell by cell (matched on stage, scale and workers) and the exit
@@ -37,9 +44,13 @@ import (
 	"cirank/internal/buildbench"
 )
 
-// reportSchema names the report document format; -compare refuses baselines
-// written under any other schema.
-const reportSchema = "cirank/bench-build/v1"
+// reportSchema and loadSchema name the two report document formats (build
+// grid and load/startup mode); -compare refuses baselines written under a
+// different schema than the current run.
+const (
+	reportSchema = "cirank/bench-build/v1"
+	loadSchema   = "cirank/bench-load/v1"
+)
 
 // benchResult is one grid cell of the report.
 type benchResult struct {
@@ -58,6 +69,9 @@ type benchResult struct {
 	// SpeedupVsMaps, set on "naive" cells, is the frozen map-based
 	// baseline's time at the same scale divided by this cell's time.
 	SpeedupVsMaps float64 `json:"speedup_vs_maps,omitempty"`
+	// SpeedupVsBuild, set on load-mode cells, is the cold build's time at
+	// the same scale divided by this cell's time.
+	SpeedupVsBuild float64 `json:"speedup_vs_build,omitempty"`
 }
 
 // report is the BENCH_build.json document.
@@ -81,13 +95,23 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generation seed")
 		compare   = flag.String("compare", "", "baseline report to diff against (exit 1 past -tolerance)")
 		tolerance = flag.Float64("tolerance", 3.0, "max allowed per-cell slowdown ratio in -compare mode")
+		mode      = flag.String("mode", "build", "what to measure: build (stage grid) or load (cold build vs stream load vs mmap open)")
 	)
 	flag.Parse()
+
+	schema := reportSchema
+	switch *mode {
+	case "build":
+	case "load":
+		schema = loadSchema
+	default:
+		fail(fmt.Errorf("bad -mode %q: want build or load", *mode))
+	}
 
 	var baseline report
 	if *compare != "" {
 		var err error
-		if baseline, err = loadBaseline(*compare); err != nil {
+		if baseline, err = loadBaseline(*compare, schema); err != nil {
 			fail(err)
 		}
 		if *tolerance <= 1 {
@@ -105,7 +129,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     reportSchema,
+		Schema:     schema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -115,8 +139,22 @@ func main() {
 			"(flat when gomaxprocs=1); speedup_vs_maps compares the pooled-buffer naive " +
 			"build against the frozen pre-rewrite map-based baseline at the same scale.",
 	}
+	if *mode == "load" {
+		rep.Note = "Engine startup paths at workers=1: build is the cold public-API build, " +
+			"stream-load decodes a v2 snapshot from memory (cirank.LoadEngine), mmap-open " +
+			"maps the snapshot file zero-copy (cirank.Open). speedup_vs_build is cold-build " +
+			"time over this cell's time at the same scale."
+	}
 
 	for _, scale := range scaleList {
+		if *mode == "load" {
+			cells, err := runLoadScale(*dataset, scale, *seed)
+			if err != nil {
+				fail(err)
+			}
+			rep.Results = append(rep.Results, cells...)
+			continue
+		}
 		w, err := buildbench.Load(*dataset, scale, *seed)
 		if err != nil {
 			fail(err)

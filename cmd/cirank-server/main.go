@@ -1,6 +1,7 @@
-// Command cirank-server serves CI-Rank keyword search over HTTP: it
-// generates a synthetic dataset, builds a query engine, and exposes the
-// internal/server endpoints until SIGINT/SIGTERM triggers a graceful drain.
+// Command cirank-server serves CI-Rank keyword search over HTTP: it builds
+// a query engine — from a generated synthetic dataset, or zero-copy from a
+// snapshot file — and exposes the internal/server endpoints until
+// SIGINT/SIGTERM triggers a graceful drain.
 //
 // Usage:
 //
@@ -8,6 +9,13 @@
 //	curl 'localhost:8080/search?q=some+keywords&k=5&timeout=2s'
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
+//
+// Snapshot workflow — build once offline, serve with instant startup, and
+// hot-reload in place after writing a fresh snapshot to the same path:
+//
+//	cirank-server -dataset dblp -scale 4 -save-snapshot eng.snap
+//	cirank-server -snapshot eng.snap -addr :8080
+//	curl -X POST localhost:8080/admin/reload
 package main
 
 import (
@@ -23,7 +31,6 @@ import (
 
 	"cirank"
 	"cirank/internal/datagen"
-	"cirank/internal/relational"
 	"cirank/internal/server"
 )
 
@@ -40,10 +47,33 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max concurrent queries (0 = 2x GOMAXPROCS)")
 		maxExp   = flag.Int("maxexpansions", 200000, "branch-and-bound expansion cap per query (-1 = unlimited)")
 		workers  = flag.Int("workers", 0, "engine worker goroutines per query (0 = GOMAXPROCS)")
+		snapshot = flag.String("snapshot", "", "serve from this snapshot file (mmap-opened; enables POST /admin/reload) instead of generating a dataset")
+		saveSnap = flag.String("save-snapshot", "", "build the dataset engine, write a snapshot to this file, and exit")
 	)
 	flag.Parse()
 
-	eng, err := buildEngine(*dataset, *scale, *seed, *workers)
+	if *saveSnap != "" {
+		eng, err := buildEngine(*dataset, *scale, *seed, *workers)
+		if err != nil {
+			fail(err)
+		}
+		if err := saveSnapshot(eng, *saveSnap); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cirank-server: snapshot of %d nodes, %d edges written to %s\n",
+			eng.NumNodes(), eng.NumEdges(), *saveSnap)
+		return
+	}
+
+	var (
+		eng *cirank.Engine
+		err error
+	)
+	if *snapshot != "" {
+		eng, err = cirank.Open(*snapshot)
+	} else {
+		eng, err = buildEngine(*dataset, *scale, *seed, *workers)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -58,6 +88,7 @@ func main() {
 		MaxTimeout:     *maxTime,
 		MaxInFlight:    *inflight,
 		MaxExpansions:  *maxExp,
+		SnapshotPath:   *snapshot,
 	})
 	if err != nil {
 		fail(err)
@@ -109,29 +140,25 @@ func buildEngine(dataset string, scale float64, seed int64, workers int) (*ciran
 	if err != nil {
 		return nil, err
 	}
-	for _, table := range ds.Schema.Tables {
-		for _, key := range ds.DB.Keys(table) {
-			t, ok := ds.DB.Lookup(table, key)
-			if !ok {
-				return nil, fmt.Errorf("dataset lookup lost %s/%s", table, key)
-			}
-			if err := b.InsertEntity(table, t.Key, t.Text, t.EntityKey); err != nil {
-				return nil, err
-			}
-		}
-	}
-	var relErr error
-	ds.DB.EachLink(func(rel relational.Relationship, fromKey, toKey string) {
-		if relErr == nil {
-			relErr = b.Relate(rel.Name, fromKey, toKey)
-		}
-	})
-	if relErr != nil {
-		return nil, relErr
+	if err := ds.Replay(b.InsertEntity, b.Relate); err != nil {
+		return nil, err
 	}
 	cfg := cirank.DefaultConfig()
 	cfg.Workers = workers
 	return b.Build(cfg)
+}
+
+// saveSnapshot writes the engine's v2 snapshot to path.
+func saveSnapshot(eng *cirank.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -5,6 +5,7 @@
 //
 //	cirank -dataset dblp -query "some keywords"
 //	cirank -dataset imdb -scale 2           # interactive: queries from stdin
+//	cirank -dataset dblp -save eng.snap     # write a snapshot and exit
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"cirank"
 	"cirank/internal/datagen"
 	"cirank/internal/experiments"
 	"cirank/internal/graph"
@@ -38,8 +40,16 @@ func main() {
 		workers = flag.Int("workers", 0, "goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
 		noCache = flag.Bool("nocache", false, "disable the RWMP score cache")
 		qTime   = flag.Duration("timeout", 0, "per-query deadline (0 = none); an expired query prints its best answers so far")
+		save    = flag.String("save", "", "build the engine through the public API, write a v2 snapshot to this file, and exit")
 	)
 	flag.Parse()
+
+	if *save != "" {
+		if err := buildAndSave(*dataset, *scale, *seed, *workers, *save); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	fmt.Fprintf(os.Stderr, "generating %s dataset (scale %.2g)...\n", *dataset, *scale)
 	var bundle *experiments.Bundle
@@ -134,6 +144,52 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "cirank:", err)
 	os.Exit(1)
+}
+
+// buildAndSave generates the dataset, builds an engine through the public
+// builder API (the same graph/config an embedding application would get)
+// and writes its snapshot to path, ready for cirank-server -snapshot.
+func buildAndSave(dataset string, scale float64, seed int64, workers int, path string) error {
+	var (
+		ds  *datagen.Dataset
+		b   *cirank.Builder
+		err error
+	)
+	switch dataset {
+	case "imdb":
+		ds, err = datagen.GenerateIMDB(datagen.DefaultIMDBConfig(seed).Scale(scale))
+		b = cirank.NewIMDBBuilder()
+	case "dblp":
+		ds, err = datagen.GenerateDBLP(datagen.DefaultDBLPConfig(seed).Scale(scale))
+		b = cirank.NewDBLPBuilder()
+	default:
+		return fmt.Errorf("unknown dataset %q (want imdb or dblp)", dataset)
+	}
+	if err != nil {
+		return err
+	}
+	if err := ds.Replay(b.InsertEntity, b.Relate); err != nil {
+		return err
+	}
+	cfg := cirank.DefaultConfig()
+	cfg.Workers = workers
+	eng, err := b.Build(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snapshot of %d nodes, %d edges written to %s\n", eng.NumNodes(), eng.NumEdges(), path)
+	return nil
 }
 
 // writeDot renders the top answer as a Graphviz graph.

@@ -31,4 +31,10 @@ var (
 	// in particular an explicit Alpha: 0 or Teleport: 0, which earlier
 	// versions silently rewrote to the paper defaults.
 	ErrBadConfig = errors.New("cirank: invalid config")
+	// ErrBadSnapshot reports a snapshot that LoadEngine or Open rejected:
+	// wrong magic, unsupported version, a truncated or corrupt section
+	// table, a checksum mismatch, or section contents that fail structural
+	// validation. Every decode-path error wraps this sentinel, so callers
+	// distinguish "the file is bad" from I/O failures with errors.Is.
+	ErrBadSnapshot = errors.New("cirank: invalid snapshot")
 )

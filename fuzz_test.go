@@ -2,6 +2,7 @@ package cirank
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -34,6 +35,34 @@ func FuzzSnapshotLoad(f *testing.F) {
 			f.Add(full.Bytes()[:cut])
 		}
 	}
+	// v2 structural corruptions: each seed lands on a distinct validation
+	// branch of the sectioned decoder (the helpers recompute the CRCs the
+	// mutation does not target, so the corruption is reached, not masked by
+	// the checksum gate).
+	snap := full.Bytes()
+	metaEntry, metaOff, _ := findEntry(f, snap, secMeta)
+	f.Add(snap[:snapHeaderSize+snapEntrySize-4])                         // truncated section table
+	f.Add(mutated(snap, func(d []byte) { d[snapHeaderSize+2] ^= 0xff })) // wrong table CRC
+	f.Add(mutated(snap, func(d []byte) { d[len(d)-1] ^= 0xff }))         // wrong section CRC
+	f.Add(mutated(snap, func(d []byte) {                                 // unknown section name
+		copy(d[metaEntry:metaEntry+snapNameLen], append([]byte("bogus"), make([]byte, snapNameLen-5)...))
+		fixTableCRC(d)
+	}))
+	f.Add(mutated(snap, func(d []byte) { // overlapping sections
+		nodesEntry, _, _ := findEntry(f, d, secNodes)
+		binary.LittleEndian.PutUint64(d[nodesEntry+16:], uint64(metaOff))
+		fixTableCRC(d)
+	}))
+	f.Add(mutated(snap, func(d []byte) { // star sections without the flag
+		binary.LittleEndian.PutUint64(d[metaOff+32:], 0)
+		fixSectionCRC(d, metaEntry)
+		fixTableCRC(d)
+	}))
+	f.Add(mutated(snap, func(d []byte) { // absurd node count
+		binary.LittleEndian.PutUint64(d[metaOff+16:], 1<<40)
+		fixSectionCRC(d, metaEntry)
+		fixTableCRC(d)
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		loaded, err := LoadEngine(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,37 @@
+package datagen
+
+import (
+	"fmt"
+
+	"cirank/internal/relational"
+)
+
+// Replay feeds the dataset through caller-supplied insert/relate callbacks —
+// typically a cirank.Builder's InsertEntity and Relate — so commands that
+// build a public engine from a generated dataset share one replay loop
+// instead of each re-walking the database. Tuples are replayed table by
+// table in schema order, then every relationship link; the first callback
+// error aborts the replay.
+func (d *Dataset) Replay(
+	insert func(table, key, text, entityKey string) error,
+	relate func(rel, fromKey, toKey string) error,
+) error {
+	for _, table := range d.Schema.Tables {
+		for _, key := range d.DB.Keys(table) {
+			t, ok := d.DB.Lookup(table, key)
+			if !ok {
+				return fmt.Errorf("datagen: replay lost tuple %s/%s", table, key)
+			}
+			if err := insert(table, t.Key, t.Text, t.EntityKey); err != nil {
+				return err
+			}
+		}
+	}
+	var relErr error
+	d.DB.EachLink(func(rel relational.Relationship, fromKey, toKey string) {
+		if relErr == nil {
+			relErr = relate(rel.Name, fromKey, toKey)
+		}
+	})
+	return relErr
+}

@@ -1,0 +1,94 @@
+package datagen
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestReplayCoversWholeDataset(t *testing.T) {
+	ds, err := GenerateDBLP(DefaultDBLPConfig(5).Scale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ins struct{ table, key string }
+	var inserts []ins
+	relates := 0
+	err = ds.Replay(
+		func(table, key, text, entityKey string) error {
+			tup, ok := ds.DB.Lookup(table, key)
+			if !ok {
+				return fmt.Errorf("replayed unknown tuple %s/%s", table, key)
+			}
+			if tup.Text != text || tup.EntityKey != entityKey {
+				return fmt.Errorf("tuple %s/%s replayed with wrong payload", table, key)
+			}
+			inserts = append(inserts, ins{table, key})
+			return nil
+		},
+		func(rel, fromKey, toKey string) error {
+			if rel == "" || fromKey == "" || toKey == "" {
+				return fmt.Errorf("empty link field %q/%q/%q", rel, fromKey, toKey)
+			}
+			relates++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inserts) != ds.DB.NumTuples() {
+		t.Errorf("replayed %d tuples, database holds %d", len(inserts), ds.DB.NumTuples())
+	}
+	if relates != ds.DB.NumLinks() {
+		t.Errorf("replayed %d links, database holds %d", relates, ds.DB.NumLinks())
+	}
+	// Tuples arrive table by table in schema order, keys in Keys order.
+	i := 0
+	for _, table := range ds.Schema.Tables {
+		for _, key := range ds.DB.Keys(table) {
+			if inserts[i].table != table || inserts[i].key != key {
+				t.Fatalf("replay position %d = %s/%s, want %s/%s",
+					i, inserts[i].table, inserts[i].key, table, key)
+			}
+			i++
+		}
+	}
+}
+
+func TestReplayAbortsOnError(t *testing.T) {
+	ds, err := GenerateDBLP(DefaultDBLPConfig(5).Scale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	err = ds.Replay(
+		func(table, key, text, entityKey string) error {
+			calls++
+			return boom
+		},
+		func(rel, fromKey, toKey string) error {
+			t.Error("relate called after insert failed")
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay error = %v, want the insert error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("insert called %d times after failing, want 1", calls)
+	}
+
+	relCalls := 0
+	err = ds.Replay(
+		func(table, key, text, entityKey string) error { return nil },
+		func(rel, fromKey, toKey string) error {
+			relCalls++
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay error = %v, want the relate error", err)
+	}
+	if relCalls != 1 {
+		t.Fatalf("relate called %d times after failing, want 1", relCalls)
+	}
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// nodesOf copies g's node records, since FromCSR takes them as a slice.
+func nodesOf(g *Graph) []Node {
+	out := make([]Node, g.NumNodes())
+	for i := range out {
+		out[i] = *g.Node(NodeID(i))
+	}
+	return out
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(20), rng.Intn(40))
+		offsets, edges, outSum := g.CSR()
+		re, err := FromCSR(nodesOf(g), offsets, edges, outSum)
+		if err != nil {
+			t.Fatalf("trial %d: FromCSR rejected a valid layout: %v", trial, err)
+		}
+		if re.NumNodes() != g.NumNodes() || re.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: shape %d/%d, want %d/%d",
+				trial, re.NumNodes(), re.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			id := NodeID(v)
+			if re.OutWeightSum(id) != g.OutWeightSum(id) {
+				t.Fatalf("trial %d: node %d out-sum differs", trial, v)
+			}
+			a, b := g.OutEdges(id), re.OutEdges(id)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d: node %d degree %d, want %d", trial, v, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d: node %d edge %d = %+v, want %+v", trial, v, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFromCSRRejectsBrokenLayouts(t *testing.T) {
+	// A valid two-node, one-edge layout to mutate from.
+	nodes := []Node{{Relation: "R", Words: 1}, {Relation: "R", Words: 1}}
+	offsets := []int32{0, 1, 1}
+	edges := []HalfEdge{{To: 1, Weight: 2}}
+	outSum := []float64{2, 0}
+	if _, err := FromCSR(nodes, offsets, edges, outSum); err != nil {
+		t.Fatalf("baseline layout rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		f    func() ([]Node, []int32, []HalfEdge, []float64)
+	}{
+		{"short offsets", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, []int32{0, 1}, edges, outSum
+		}},
+		{"short outSum", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, offsets, edges, []float64{2}
+		}},
+		{"nonzero first offset", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, []int32{1, 1, 1}, edges, outSum
+		}},
+		{"last offset under edge count", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, []int32{0, 0, 0}, edges, outSum
+		}},
+		{"decreasing offsets", func() ([]Node, []int32, []HalfEdge, []float64) {
+			three := []Node{{Words: 1}, {Words: 1}, {Words: 1}}
+			return three, []int32{0, 2, 1, 2},
+				[]HalfEdge{{To: 1, Weight: 1}, {To: 2, Weight: 1}}, []float64{2, 0, 0}
+		}},
+		{"unsorted adjacency", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, []int32{0, 2, 2},
+				[]HalfEdge{{To: 1, Weight: 1}, {To: 1, Weight: 1}}, []float64{2, 0}
+		}},
+		{"target out of range", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, offsets, []HalfEdge{{To: 5, Weight: 2}}, outSum
+		}},
+		{"self-loop", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, []int32{0, 0, 1}, []HalfEdge{{To: 1, Weight: 2}}, []float64{0, 2}
+		}},
+		{"zero weight", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, offsets, []HalfEdge{{To: 1, Weight: 0}}, []float64{0, 0}
+		}},
+		{"infinite weight", func() ([]Node, []int32, []HalfEdge, []float64) {
+			inf := HalfEdge{To: 1, Weight: 1}
+			inf.Weight = inf.Weight / 0 // +Inf
+			return nodes, offsets, []HalfEdge{inf}, []float64{inf.Weight, 0}
+		}},
+		{"out-sum mismatch", func() ([]Node, []int32, []HalfEdge, []float64) {
+			return nodes, offsets, edges, []float64{3, 0}
+		}},
+		{"negative word count", func() ([]Node, []int32, []HalfEdge, []float64) {
+			bad := []Node{{Relation: "R", Words: -1}, {Relation: "R", Words: 1}}
+			return bad, offsets, edges, outSum
+		}},
+	}
+	for _, c := range cases {
+		n, o, e, s := c.f()
+		if _, err := FromCSR(n, o, e, s); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestEdgeWireRoundTrip(t *testing.T) {
+	edges := []HalfEdge{{To: 0, Weight: 0.125}, {To: 7, Weight: 1}, {To: 1 << 20, Weight: 3.5}}
+	b := AppendEdges(nil, edges)
+	if len(b) != halfEdgeWireSize*len(edges) {
+		t.Fatalf("encoded %d bytes, want %d", len(b), halfEdgeWireSize*len(edges))
+	}
+	for _, alias := range []bool{false, true} {
+		got := EdgesFromBytes(b, alias)
+		if len(got) != len(edges) {
+			t.Fatalf("alias=%v: decoded %d edges, want %d", alias, len(got), len(edges))
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				t.Errorf("alias=%v: edge %d = %+v, want %+v", alias, i, got[i], edges[i])
+			}
+		}
+	}
+	// The copying path must not share the backing bytes.
+	cp := EdgesFromBytes(b, false)
+	b[0] ^= 0xff
+	if cp[0].To != edges[0].To {
+		t.Error("copy decode shares the source bytes")
+	}
+	b[0] ^= 0xff
+
+	// A misaligned buffer must fall back to decoding a copy, not alias a
+	// misaligned pointer.
+	odd := append([]byte{0xaa}, b...)[1:]
+	if !edgeAligned(odd) {
+		got := EdgesFromBytes(odd, true)
+		for i := range edges {
+			if got[i] != edges[i] {
+				t.Errorf("misaligned decode: edge %d = %+v, want %+v", i, got[i], edges[i])
+			}
+		}
+	}
+
+	if EdgesFromBytes(nil, true) != nil || len(EdgesFromBytes(nil, false)) != 0 {
+		t.Error("empty input must decode to an empty slice")
+	}
+	if !edgeAligned(nil) {
+		t.Error("empty buffer reported misaligned")
+	}
+}

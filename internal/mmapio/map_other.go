@@ -1,0 +1,31 @@
+//go:build !unix
+
+package mmapio
+
+import "os"
+
+// Mapping is a file mapped (or, on platforms without mmap, read) into
+// memory. Data stays valid until Close; Close is idempotent.
+type Mapping struct {
+	data []byte
+}
+
+// Map reads path fully into memory on platforms without syscall.Mmap. The
+// zero-copy section views still alias this buffer, so loading stays
+// single-copy; only the page-cache sharing of true mmap is lost.
+func Map(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Data returns the file bytes. The slice must not be used after Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Close releases the buffer. Any slices aliasing Data become invalid.
+func (m *Mapping) Close() error {
+	m.data = nil
+	return nil
+}

@@ -1,0 +1,57 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mapping is a file mapped (or, on platforms without mmap, read) into
+// memory. Data stays valid until Close; Close is idempotent.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when data came from syscall.Mmap and needs Munmap
+}
+
+// Map opens path and maps its full contents read-only. Empty files map to a
+// zero-length Mapping (Data returns an empty slice).
+func Map(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapio: %s is too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// Data returns the mapped bytes. The slice must not be written to (the
+// mapping is read-only; writes fault) and must not be used after Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Close releases the mapping. Any slices aliasing Data become invalid.
+func (m *Mapping) Close() error {
+	if !m.mapped {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data, m.mapped = nil, false
+	return syscall.Munmap(data)
+}

@@ -145,7 +145,19 @@ func ReadStar(r io.Reader, g *graph.Graph) (*StarIndex, error) {
 		return nil, fmt.Errorf("pathindex: reading far: %w", err)
 	}
 	ix.far = math.Float64frombits(binary.LittleEndian.Uint64(far[:]))
-	return ix, nil
+	// Delegate the table invariants (ordinal density, distance horizon,
+	// retention ranges) to FromParts so this legacy stream decoder and the
+	// sectioned snapshot decoder accept exactly the same indexes — anything
+	// that loads here must survive a re-save through the sectioned format.
+	return FromParts(g, ix.damp, StarParts{
+		MaxDepth: ix.maxDepth,
+		IsStar:   ix.isStar,
+		StarIdx:  ix.starIdx,
+		NumStar:  ix.numStar,
+		Dist:     ix.dist,
+		Ret:      ix.ret,
+		Far:      ix.far,
+	})
 }
 
 func writeF64s(w io.Writer, vals []float64, n *int64) error {

@@ -1,0 +1,108 @@
+package pathindex
+
+import (
+	"fmt"
+	"math"
+
+	"cirank/internal/graph"
+)
+
+// StarParts is the raw table set of a StarIndex, exposed so the sectioned
+// snapshot format can persist each table as its own zero-copy section
+// (flags, ordinals, distances, retentions) instead of one opaque stream.
+// All slices alias the index's internal — possibly memory-mapped — storage
+// and must not be modified.
+type StarParts struct {
+	// MaxDepth is the index horizon.
+	MaxDepth int
+	// IsStar marks, per node, membership in a star table.
+	IsStar []bool
+	// StarIdx maps each node to its compact star ordinal, or -1.
+	StarIdx []int32
+	// NumStar is the number of star nodes (the side length of Dist/Ret).
+	NumStar int
+	// Dist is the star×star distance table, row-major.
+	Dist []uint8
+	// Ret is the star×star retention table, row-major.
+	Ret []float64
+	// Far is the beyond-horizon retention bound.
+	Far float64
+}
+
+// Parts returns the index's raw tables for serialization.
+func (ix *StarIndex) Parts() StarParts {
+	return StarParts{
+		MaxDepth: ix.maxDepth,
+		IsStar:   ix.isStar,
+		StarIdx:  ix.starIdx,
+		NumStar:  ix.numStar,
+		Dist:     ix.dist,
+		Ret:      ix.ret,
+		Far:      ix.far,
+	}
+}
+
+// FromParts reassembles a StarIndex from its raw tables, validating every
+// invariant the build would have established: the horizon must be
+// representable, the per-node tables must cover the graph, the ordinal table
+// must be the dense rank of the flag table, distances must not exceed the
+// beyond-horizon encoding, and retentions must be finite values in [0, 1].
+// The slices are retained, not copied, so tables viewed zero-copy from a
+// mapped snapshot stay zero-copy. damp must be the dampening vector the
+// index was built with (shared with the RWMP model).
+func FromParts(g *graph.Graph, damp []float64, p StarParts) (*StarIndex, error) {
+	n := g.NumNodes()
+	if p.MaxDepth < 1 || p.MaxDepth > maxUint8Depth {
+		return nil, fmt.Errorf("pathindex: maxDepth %d outside [1, %d]", p.MaxDepth, maxUint8Depth)
+	}
+	if len(damp) != n || len(p.IsStar) != n || len(p.StarIdx) != n {
+		return nil, fmt.Errorf("pathindex: table lengths %d/%d/%d do not cover %d nodes",
+			len(damp), len(p.IsStar), len(p.StarIdx), n)
+	}
+	if p.NumStar < 0 || p.NumStar > n {
+		return nil, fmt.Errorf("pathindex: star count %d outside [0, %d]", p.NumStar, n)
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if p.IsStar[v] {
+			if p.StarIdx[v] != next {
+				return nil, fmt.Errorf("pathindex: star node %d has ordinal %d, want %d", v, p.StarIdx[v], next)
+			}
+			next++
+		} else if p.StarIdx[v] != -1 {
+			return nil, fmt.Errorf("pathindex: non-star node %d has ordinal %d", v, p.StarIdx[v])
+		}
+	}
+	if int(next) != p.NumStar {
+		return nil, fmt.Errorf("pathindex: flag table marks %d star nodes, header says %d", next, p.NumStar)
+	}
+	want := p.NumStar * p.NumStar
+	if len(p.Dist) != want || len(p.Ret) != want {
+		return nil, fmt.Errorf("pathindex: table sizes %d/%d, want %d for %d star nodes",
+			len(p.Dist), len(p.Ret), want, p.NumStar)
+	}
+	for i, d := range p.Dist {
+		if int(d) > p.MaxDepth+1 {
+			return nil, fmt.Errorf("pathindex: distance entry %d holds %d beyond horizon %d", i, d, p.MaxDepth)
+		}
+	}
+	for i, r := range p.Ret {
+		if !(r >= 0 && r <= 1) || math.IsNaN(r) {
+			return nil, fmt.Errorf("pathindex: retention entry %d holds invalid value %g", i, r)
+		}
+	}
+	if !(p.Far >= 0 && p.Far <= 1) || math.IsNaN(p.Far) {
+		return nil, fmt.Errorf("pathindex: invalid far retention %g", p.Far)
+	}
+	return &StarIndex{
+		g:        g,
+		damp:     damp,
+		maxDepth: p.MaxDepth,
+		isStar:   p.IsStar,
+		starIdx:  p.StarIdx,
+		numStar:  p.NumStar,
+		dist:     p.Dist,
+		ret:      p.Ret,
+		far:      p.Far,
+	}, nil
+}

@@ -2,6 +2,8 @@ package relational
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"cirank/internal/graph"
 	"cirank/internal/textindex"
@@ -20,6 +22,39 @@ type Mapping struct {
 func (m *Mapping) NodeOf(tableName, key string) (graph.NodeID, bool) {
 	id, ok := m.byTableKey[tableName+"\x00"+key]
 	return id, ok
+}
+
+// MappingEntry is one (table, key) → node pair of a Mapping. Because of
+// entity merging several entries may share a node: every merged-away role
+// key keeps its own entry pointing at the surviving node.
+type MappingEntry struct {
+	// Table is the tuple's table name.
+	Table string
+	// Key is the tuple's primary key within Table.
+	Key string
+	// Node is the graph node holding the tuple (shared after merging).
+	Node graph.NodeID
+}
+
+// Entries returns every tuple mapping, sorted by (table, key) so the order
+// is deterministic. Snapshots persist this complete list — the node records
+// alone lose the merged-away keys, which was the documented v1 limitation.
+func (m *Mapping) Entries() []MappingEntry {
+	out := make([]MappingEntry, 0, len(m.byTableKey))
+	for composite, id := range m.byTableKey {
+		table, key, ok := strings.Cut(composite, "\x00")
+		if !ok {
+			continue // unreachable: every stored key is composite
+		}
+		out = append(out, MappingEntry{Table: table, Key: key, Node: id})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
 }
 
 // MustNodeOf is NodeOf that panics when the tuple is unknown.

@@ -96,6 +96,48 @@ func New(g *graph.Graph, ix *textindex.Index, importance []float64, params Param
 	}, nil
 }
 
+// NewFromParts builds a model from importance and dampening vectors that
+// were computed earlier and persisted — the snapshot fast path, which must
+// skip the per-node Eq. 2 evaluation entirely. The vectors are retained, not
+// copied (they may alias a memory-mapped snapshot section) and validated
+// structurally: lengths must match the graph, importance values must be
+// positive and finite, and every damp rate must lie in (0, 1). p_min is
+// derived from the importance vector, exactly as New would.
+func NewFromParts(g *graph.Graph, ix *textindex.Index, importance, damp []float64, params Params) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(importance) != g.NumNodes() {
+		return nil, fmt.Errorf("rwmp: importance has %d entries for %d nodes", len(importance), g.NumNodes())
+	}
+	if len(damp) != g.NumNodes() {
+		return nil, fmt.Errorf("rwmp: damp has %d entries for %d nodes", len(damp), g.NumNodes())
+	}
+	pmin := math.Inf(1)
+	for _, p := range importance {
+		if !(p > 0) || math.IsInf(p, 1) {
+			return nil, fmt.Errorf("rwmp: importance %g is not a positive finite value", p)
+		}
+		if p < pmin {
+			pmin = p
+		}
+	}
+	for i, d := range damp {
+		if !(d > 0 && d < 1) {
+			return nil, fmt.Errorf("rwmp: damp rate %g of node %d outside (0, 1)", d, i)
+		}
+	}
+	return &Model{
+		g:      g,
+		ix:     ix,
+		params: params,
+		imp:    importance,
+		pmin:   pmin,
+		t:      1 / pmin,
+		damp:   damp,
+	}, nil
+}
+
 // DampRates evaluates Eq. 2 for every node of an importance vector,
 // returning the per-node dampening rates d_u. It is the same computation New
 // performs, exposed so the offline build pipeline can construct the §V path
@@ -164,6 +206,15 @@ func (m *Model) Surfers() float64 { return m.t }
 
 // Damp returns the dampening rate d_v of Eq. 2.
 func (m *Model) Damp(v graph.NodeID) float64 { return m.damp[v] }
+
+// DampVector returns the model's full per-node dampening-rate vector. The
+// slice aliases internal storage and must not be modified; snapshotting uses
+// it to persist the rates so a reload can skip re-evaluating Eq. 2.
+func (m *Model) DampVector() []float64 { return m.damp }
+
+// ImportanceVector returns the model's full importance vector. The slice
+// aliases internal storage and must not be modified.
+func (m *Model) ImportanceVector() []float64 { return m.imp }
 
 // MaxDamp returns the largest dampening rate in the graph: any path of h
 // hops retains at most MaxDamp^(h−1) of its messages, a bound the search

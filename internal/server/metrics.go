@@ -25,6 +25,8 @@ type metrics struct {
 	interrupted, truncated atomic.Int64
 	// expanded accumulates branch-and-bound expansions across queries.
 	expanded atomic.Int64
+	// Reload counters: successful and failed /admin/reload attempts.
+	reloadsOK, reloadsFailed atomic.Int64
 	// inflight is the number of /search requests currently holding an
 	// admission slot.
 	inflight atomic.Int64
@@ -49,8 +51,9 @@ func (m *metrics) observe(d time.Duration) {
 }
 
 // writeTo emits the metrics in the Prometheus text exposition format,
-// folding in the engine's cache counters and the current in-flight gauge.
-func (m *metrics) writeTo(w io.Writer, cache cirank.CacheStats) {
+// folding in the engine's cache counters, the current in-flight gauge and
+// the engine generation.
+func (m *metrics) writeTo(w io.Writer, cache cirank.CacheStats, generation uint64) {
 	counter := func(name, help string, pairs ...any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 		for i := 0; i+1 < len(pairs); i += 2 {
@@ -79,6 +82,12 @@ func (m *metrics) writeTo(w io.Writer, cache cirank.CacheStats) {
 		`{cache="score"}`, cache.ScoreMisses,
 		`{cache="bound"}`, cache.BoundMisses,
 	)
+	counter("cirank_reloads_total", "Hot-reload attempts by outcome.",
+		`{status="ok"}`, m.reloadsOK.Load(),
+		`{status="error"}`, m.reloadsFailed.Load(),
+	)
+	fmt.Fprintf(w, "# HELP cirank_engine_generation Current engine generation (1 + successful reloads).\n")
+	fmt.Fprintf(w, "# TYPE cirank_engine_generation gauge\ncirank_engine_generation %d\n", generation)
 	fmt.Fprintf(w, "# HELP cirank_inflight_queries /search requests currently holding an admission slot.\n")
 	fmt.Fprintf(w, "# TYPE cirank_inflight_queries gauge\ncirank_inflight_queries %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "# HELP cirank_query_duration_seconds Engine latency of successful /search queries.\n")

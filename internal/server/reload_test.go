@@ -1,0 +1,314 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cirank"
+)
+
+// saveSnapshot writes eng's snapshot into dir and returns the path.
+func saveSnapshot(t testing.TB, eng *cirank.Engine, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "eng.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// snapshotServer saves eng, opens it zero-copy, and serves it with
+// /admin/reload wired to the snapshot path.
+func snapshotServer(t *testing.T, eng *cirank.Engine, cfg Config) (string, *Server, string) {
+	t.Helper()
+	path := saveSnapshot(t, eng, t.TempDir())
+	opened, err := cirank.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = opened
+	cfg.SnapshotPath = path
+	s, ts := newTestServer(t, cfg)
+	return path, s, ts.URL
+}
+
+func postJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d (%s)", url, resp.StatusCode, wantStatus, body)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+}
+
+// TestProviderLeaseLifecycle pins the provider's reference-counting
+// contract: leases outlive swaps, the old generation drains only after its
+// last release, and a closed provider refuses new leases.
+func TestProviderLeaseLifecycle(t *testing.T) {
+	p := NewProvider(smallEngine(t))
+	l := p.Acquire()
+	if l == nil {
+		t.Fatal("Acquire on a fresh provider returned nil")
+	}
+	if l.Generation() != 1 || p.Generation() != 1 {
+		t.Fatalf("generations %d/%d, want 1/1", l.Generation(), p.Generation())
+	}
+
+	gen, wait := p.Swap(smallEngine(t))
+	if gen != 2 || p.Generation() != 2 {
+		t.Fatalf("generation after swap = %d/%d, want 2", gen, p.Generation())
+	}
+	// The outstanding lease keeps generation 1 alive: the drain cannot
+	// complete yet, but the lease's engine must still answer.
+	if wait(10 * time.Millisecond) {
+		t.Fatal("drain reported complete while a lease was outstanding")
+	}
+	if _, err := l.Engine().Search("ullman", 1); err != nil {
+		t.Fatalf("leased engine unusable after swap: %v", err)
+	}
+	l.Release()
+	if !wait(time.Second) {
+		t.Fatal("drain did not complete after the last release")
+	}
+
+	l2 := p.Acquire()
+	if l2 == nil || l2.Generation() != 2 {
+		t.Fatalf("Acquire after swap = %+v, want generation 2", l2)
+	}
+	l2.Release()
+
+	p.Close()
+	p.Close() // idempotent
+	if l := p.Acquire(); l != nil {
+		t.Fatal("Acquire after Close returned a lease")
+	}
+	// Swapping into a closed provider must retire the incoming engine, not
+	// resurrect the provider.
+	gen, wait = p.Swap(smallEngine(t))
+	if gen != 2 {
+		t.Fatalf("generation after swap-into-closed = %d, want 2", gen)
+	}
+	if !wait(time.Second) {
+		t.Fatal("swap into a closed provider did not report drained")
+	}
+	if l := p.Acquire(); l != nil {
+		t.Fatal("swap into a closed provider resurrected it")
+	}
+}
+
+// TestReloadEndpoint drives the full hot-reload path: a successful swap
+// bumps the generation, a corrupt snapshot is rejected with 422 while the
+// old engine keeps serving, and the next valid snapshot recovers.
+func TestReloadEndpoint(t *testing.T) {
+	path, _, url := snapshotServer(t, smallEngine(t), Config{})
+
+	var health HealthResponse
+	getJSON(t, url+"/healthz", http.StatusOK, &health)
+	if health.Generation != 1 || health.Source != cirank.SourceMmap {
+		t.Fatalf("initial health = %+v, want generation 1, source mmap", health)
+	}
+
+	var rel ReloadResponse
+	postJSON(t, url+"/admin/reload", http.StatusOK, &rel)
+	if rel.Status != "ok" || rel.Generation != 2 || rel.Source != cirank.SourceMmap {
+		t.Fatalf("reload response = %+v", rel)
+	}
+	if !rel.Drained {
+		t.Errorf("idle reload did not report drained")
+	}
+
+	// GET is not allowed.
+	resp, err := http.Get(url + "/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/reload: status %d, want 405", resp.StatusCode)
+	}
+
+	// A corrupt snapshot must be rejected without touching the serving
+	// engine: typed 422, generation unchanged, search still answering.
+	if err := os.WriteFile(path, []byte("CIEN garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fail ErrorResponse
+	postJSON(t, url+"/admin/reload", http.StatusUnprocessableEntity, &fail)
+	if fail.Error == "" {
+		t.Error("422 response carries no error message")
+	}
+	getJSON(t, url+"/healthz", http.StatusOK, &health)
+	if health.Generation != 2 {
+		t.Fatalf("generation after failed reload = %d, want 2", health.Generation)
+	}
+	var res SearchResponse
+	getJSON(t, url+"/search?q=ullman", http.StatusOK, &res)
+	if len(res.Results) == 0 {
+		t.Fatal("old engine stopped answering after a failed reload")
+	}
+
+	// A bigger snapshot at the same path swaps in and is visible in the
+	// health report.
+	bigger := func() *cirank.Engine {
+		b := cirank.NewDBLPBuilder()
+		b.MustInsert("Author", "a1", "jeffrey ullman")
+		b.MustInsert("Author", "a2", "yannis papakonstantinou")
+		b.MustInsert("Author", "a3", "hector garcia molina")
+		b.MustInsert("Paper", "p1", "object exchange across heterogeneous information sources")
+		b.MustRelate("written_by", "p1", "a1")
+		b.MustRelate("written_by", "p1", "a2")
+		b.MustRelate("written_by", "p1", "a3")
+		eng, err := b.Build(cirank.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}()
+	if p := saveSnapshot(t, bigger, filepath.Dir(path)); p != path {
+		t.Fatalf("snapshot rewritten to %s, want %s", p, path)
+	}
+	postJSON(t, url+"/admin/reload", http.StatusOK, &rel)
+	if rel.Generation != 3 || rel.Nodes != bigger.NumNodes() {
+		t.Fatalf("reload after rewrite = %+v, want generation 3 with %d nodes", rel, bigger.NumNodes())
+	}
+
+	// The metrics endpoint accounts both outcomes and the live generation.
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`cirank_reloads_total{status="ok"} 2`,
+		`cirank_reloads_total{status="error"} 1`,
+		"cirank_engine_generation 3",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestReloadNotConfigured checks the endpoint stays unregistered without a
+// snapshot path.
+func TestReloadNotConfigured(t *testing.T) {
+	_, ts := newTestServer(t, Config{Engine: smallEngine(t)})
+	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /admin/reload without SnapshotPath: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestReloadUnderQueryLoad is the zero-failed-requests guarantee: queries
+// hammer /search from several goroutines while /admin/reload swaps the
+// engine repeatedly, and every single request must succeed — the swap is
+// atomic and old generations drain instead of dying.
+func TestReloadUnderQueryLoad(t *testing.T) {
+	const (
+		queriers         = 4
+		queriesPerWorker = 40
+		reloads          = 8
+	)
+	_, _, url := snapshotServer(t, smallEngine(t), Config{MaxInFlight: 64})
+
+	var wg sync.WaitGroup
+	errc := make(chan error, queriers*queriesPerWorker+reloads)
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPerWorker; i++ {
+				resp, err := http.Get(url + "/search?q=ullman+papakonstantinou&k=2")
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("search during reload: status %d (%s)", resp.StatusCode, body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			resp, err := http.Post(url+"/admin/reload", "application/json", nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("reload %d: status %d (%s)", i, resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	var health HealthResponse
+	getJSON(t, url+"/healthz", http.StatusOK, &health)
+	if health.Generation != reloads+1 {
+		t.Errorf("final generation = %d, want %d", health.Generation, reloads+1)
+	}
+}
+
+// TestServerClose checks the shutdown path: after Server.Close, searches
+// and health checks answer 503 instead of panicking on a retired engine.
+func TestServerClose(t *testing.T) {
+	s, ts := newTestServer(t, Config{Engine: smallEngine(t)})
+	var res SearchResponse
+	getJSON(t, ts.URL+"/search?q=ullman", http.StatusOK, &res)
+	s.Close()
+	resp, err := http.Get(ts.URL + "/search?q=ullman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("search after Close: status %d, want 503", resp.StatusCode)
+	}
+	var health HealthResponse
+	getJSON(t, ts.URL+"/healthz", http.StatusServiceUnavailable, &health)
+	if health.Status != "closed" {
+		t.Fatalf("health after Close = %+v, want status closed", health)
+	}
+}

@@ -1,19 +1,29 @@
 // Package server is the HTTP/JSON serving layer over a cirank.Engine: the
 // query endpoint with per-request deadlines, a semaphore-based admission
 // limiter that sheds load with 429 instead of queueing unboundedly, a health
-// probe and a Prometheus-format metrics endpoint.
+// probe, a Prometheus-format metrics endpoint, and — when a snapshot path is
+// configured — a hot-reload endpoint.
 //
 // Endpoints:
 //
-//	GET /search?q=<keywords>&k=5&diameter=4&timeout=2s&workers=0
-//	GET /healthz
-//	GET /metrics
+//	GET  /search?q=<keywords>&k=5&diameter=4&timeout=2s&workers=0
+//	GET  /healthz
+//	GET  /metrics
+//	POST /admin/reload        (only with Config.SnapshotPath set)
 //
 // Every /search runs under a context derived from the request — deadline
 // from the timeout parameter (default/cap from Config), cancellation from
 // client disconnect — so a runaway branch-and-bound query stops at its next
 // cancellation point and returns the best answers found so far with
 // stats.interrupted set, instead of burning a worker until completion.
+//
+// The server never touches a bare engine: requests borrow the current one
+// from a Provider for exactly their own duration. /admin/reload re-opens the
+// configured snapshot, validates it (checksums and structural invariants are
+// verified by cirank.Open before the engine exists), and atomically swaps it
+// in; queries already running continue against the engine they started with
+// and the old engine is closed when the last of them finishes. No request
+// ever fails because a reload happened mid-flight.
 package server
 
 import (
@@ -24,6 +34,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"cirank"
@@ -58,6 +69,16 @@ type Config struct {
 	// MaxExpansions caps branch-and-bound work per query (default 200000;
 	// -1 removes the cap, leaving the timeout as the only bound).
 	MaxExpansions int
+	// SnapshotPath, when non-empty, enables POST /admin/reload: the handler
+	// opens this snapshot file with cirank.Open and hot-swaps the resulting
+	// engine in. Empty leaves the endpoint unregistered (404).
+	SnapshotPath string
+	// ReloadDrainTimeout bounds how long /admin/reload waits for queries
+	// borrowed from the replaced engine to finish before answering (default
+	// 5s). The swap itself is immediate regardless; a response with
+	// drained=false only means old queries were still running when the
+	// handler answered.
+	ReloadDrainTimeout time.Duration
 }
 
 // withDefaults validates the config and fills the zero fields.
@@ -95,8 +116,11 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("server: negative Config.%s %d", name, v)
 		}
 	}
-	if c.DefaultTimeout < 0 || c.MaxTimeout < 0 {
+	if c.DefaultTimeout < 0 || c.MaxTimeout < 0 || c.ReloadDrainTimeout < 0 {
 		return c, errors.New("server: negative timeout config")
+	}
+	if c.ReloadDrainTimeout == 0 {
+		c.ReloadDrainTimeout = 5 * time.Second
 	}
 	if c.MaxExpansions < -1 {
 		return c, fmt.Errorf("server: Config.MaxExpansions %d (use -1 to remove the cap)", c.MaxExpansions)
@@ -104,10 +128,17 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Server serves keyword-search queries over one engine. It is safe for
-// concurrent use; construct with New and mount Handler on an http.Server.
+// Server serves keyword-search queries over a hot-swappable engine. It is
+// safe for concurrent use; construct with New and mount Handler on an
+// http.Server.
 type Server struct {
 	cfg Config
+	// provider hands out per-request engine leases and owns the swap
+	// semantics; the server never stores a bare engine.
+	provider *Provider
+	// reloadMu serializes /admin/reload: loading a snapshot is expensive
+	// and concurrent reloads would race to be "the" new generation.
+	reloadMu sync.Mutex
 	// sem is the admission semaphore: a slot must be acquired before a
 	// query touches the engine, and acquisition never blocks — a full
 	// channel means 429.
@@ -116,22 +147,36 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// New validates the config and assembles a Server.
+// New validates the config and assembles a Server. The server's Provider
+// takes over the engine's lifecycle: it is closed when swapped out by a
+// reload (after its in-flight queries drain) or by Server.Close.
 func New(cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInFlight),
-		mux: http.NewServeMux(),
+		cfg:      cfg,
+		provider: NewProvider(cfg.Engine),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.SnapshotPath != "" {
+		s.mux.HandleFunc("/admin/reload", s.handleReload)
+	}
 	return s, nil
 }
+
+// Provider returns the server's engine provider, for tests and embedders
+// that need to observe or drive engine swaps directly.
+func (s *Server) Provider() *Provider { return s.provider }
+
+// Close retires the current engine: in-flight queries finish against it,
+// new ones get 503, and the engine is closed once its leases drain.
+func (s *Server) Close() { s.provider.Close() }
 
 // Handler returns the server's HTTP handler, for mounting on an
 // http.Server (whose Shutdown gives the graceful-drain story; see
@@ -201,12 +246,39 @@ type ErrorResponse struct {
 
 // HealthResponse is the /healthz response body.
 type HealthResponse struct {
-	// Status is "ok" whenever the server answers at all.
+	// Status is "ok" while an engine is being served, "closed" after
+	// Server.Close retired it.
 	Status string `json:"status"`
 	// Nodes is the engine data graph's node count.
 	Nodes int `json:"nodes"`
 	// Edges is the engine data graph's directed edge count.
 	Edges int `json:"edges"`
+	// Generation counts engine swaps: 1 for the initial engine,
+	// incremented by every successful /admin/reload.
+	Generation uint64 `json:"generation"`
+	// Source is how the current engine's data arrived: "build", "stream"
+	// or "mmap" (see cirank.BuildStats.Source).
+	Source string `json:"source"`
+}
+
+// ReloadResponse is the /admin/reload response body.
+type ReloadResponse struct {
+	// Status is "ok" on a successful swap.
+	Status string `json:"status"`
+	// Generation is the new engine's generation number.
+	Generation uint64 `json:"generation"`
+	// Nodes is the new engine's node count.
+	Nodes int `json:"nodes"`
+	// Edges is the new engine's directed edge count.
+	Edges int `json:"edges"`
+	// Source is how the new engine's data arrived ("mmap" for v2
+	// snapshots, "stream" for legacy v1 files).
+	Source string `json:"source"`
+	// Drained reports whether every query started against the previous
+	// engine finished (and the previous engine was closed) within the
+	// drain timeout. false does not indicate a failure: the swap already
+	// happened and stragglers keep running safely against the old engine.
+	Drained bool `json:"drained"`
 }
 
 // handleSearch runs one query under admission control and a per-request
@@ -237,9 +309,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
 
+	// Borrow the current engine for exactly this request. The lease keeps
+	// it alive (and, for zero-copy engines, mapped) even if a reload swaps
+	// in a new generation mid-query.
+	lease := s.provider.Acquire()
+	if lease == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is shut down"})
+		return
+	}
+	defer lease.Release()
+
 	ctx, cancel := context.WithTimeout(r.Context(), params.timeout)
 	defer cancel()
-	res, err := s.cfg.Engine.SearchTermsContext(ctx, params.terms, params.k, params.opts)
+	res, err := lease.Engine().SearchTermsContext(ctx, params.terms, params.k, params.opts)
 	switch {
 	case err == nil:
 	case errors.Is(err, cirank.ErrDeadline):
@@ -361,19 +443,68 @@ func searchResponse(p searchParams, res cirank.SearchResult) SearchResponse {
 	return out
 }
 
+// handleReload re-opens the configured snapshot and hot-swaps the engine.
+// Reloads are serialized; checksum and structural validation happen inside
+// cirank.Open, so a corrupt file never becomes the serving engine — the old
+// generation keeps serving and the handler answers 422.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	eng, err := cirank.Open(s.cfg.SnapshotPath)
+	if err != nil {
+		s.m.reloadsFailed.Add(1)
+		code := http.StatusInternalServerError
+		if errors.Is(err, cirank.ErrBadSnapshot) {
+			code = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, code, ErrorResponse{Error: err.Error()})
+		return
+	}
+	nodes, edges, source := eng.NumNodes(), eng.NumEdges(), eng.BuildStats().Source
+	gen, wait := s.provider.Swap(eng)
+	drained := wait(s.cfg.ReloadDrainTimeout)
+	s.m.reloadsOK.Add(1)
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Status:     "ok",
+		Generation: gen,
+		Nodes:      nodes,
+		Edges:      edges,
+		Source:     source,
+		Drained:    drained,
+	})
+}
+
 // handleHealthz answers the liveness/readiness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	lease := s.provider.Acquire()
+	if lease == nil {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "closed"})
+		return
+	}
+	defer lease.Release()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok",
-		Nodes:  s.cfg.Engine.NumNodes(),
-		Edges:  s.cfg.Engine.NumEdges(),
+		Status:     "ok",
+		Nodes:      lease.Engine().NumNodes(),
+		Edges:      lease.Engine().NumEdges(),
+		Generation: lease.Generation(),
+		Source:     lease.Engine().BuildStats().Source,
 	})
 }
 
 // handleMetrics emits the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.writeTo(w, s.cfg.Engine.CacheStats())
+	var cache cirank.CacheStats
+	if lease := s.provider.Acquire(); lease != nil {
+		cache = lease.Engine().CacheStats()
+		lease.Release()
+	}
+	s.m.writeTo(w, cache, s.provider.Generation())
 }
 
 // writeJSON writes a JSON response with the given status code.

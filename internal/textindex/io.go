@@ -1,0 +1,363 @@
+package textindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cirank/internal/graph"
+)
+
+// Binary serialization for the text index, so a snapshot reload can skip
+// re-tokenizing every node (historically the single rebuilt-on-load stage).
+// The layout is length-prefixed and fully sorted, making the encoding
+// deterministic — whole-snapshot byte comparisons depend on it:
+//
+//	magic "CITX" | version u32 | numNodes u64
+//	nodeLen: numNodes × u32
+//	numTerms u64
+//	per term, sorted: term (u32-prefixed) | postings u64 |
+//	                  per posting: node u32, tf u32 |
+//	                  dfRels u32 | per relation, sorted: name, count u32
+//	numRels u64 | per relation, sorted: name | tuples u64 | totalLen u64
+
+const (
+	indexMagic   = "CITX"
+	indexVersion = 1
+	// maxTermLen bounds one term's byte length on the wire; the tokenizer
+	// never produces terms anywhere near this, so longer is corruption.
+	maxTermLen = 1 << 20
+	// maxPreallocEntries caps count-derived preallocation hints so a corrupt
+	// length prefix cannot allocate gigabytes before the stream runs dry.
+	maxPreallocEntries = 1 << 16
+)
+
+// WriteTo serializes the index. It implements io.WriterTo; the byte stream
+// is identical for every build of the same corpus (all maps are emitted in
+// sorted key order).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write([]byte(indexMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, indexVersion); err != nil {
+		return cw.n, err
+	}
+	if err := writeU64(cw, uint64(len(ix.nodeLen))); err != nil {
+		return cw.n, err
+	}
+	for _, n := range ix.nodeLen {
+		if err := writeU32(cw, uint32(n)); err != nil {
+			return cw.n, err
+		}
+	}
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	if err := writeU64(cw, uint64(len(terms))); err != nil {
+		return cw.n, err
+	}
+	for _, t := range terms {
+		if err := writeString(cw, t); err != nil {
+			return cw.n, err
+		}
+		ps := ix.postings[t]
+		if err := writeU64(cw, uint64(len(ps))); err != nil {
+			return cw.n, err
+		}
+		for _, p := range ps {
+			if err := writeU32(cw, uint32(p.Node)); err != nil {
+				return cw.n, err
+			}
+			if err := writeU32(cw, uint32(p.TF)); err != nil {
+				return cw.n, err
+			}
+		}
+		byRel := ix.df[t]
+		rels := make([]string, 0, len(byRel))
+		for r := range byRel {
+			rels = append(rels, r)
+		}
+		sort.Strings(rels)
+		if err := writeU32(cw, uint32(len(rels))); err != nil {
+			return cw.n, err
+		}
+		for _, r := range rels {
+			if err := writeString(cw, r); err != nil {
+				return cw.n, err
+			}
+			if err := writeU32(cw, uint32(byRel[r])); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	relNames := ix.Relations()
+	if err := writeU64(cw, uint64(len(relNames))); err != nil {
+		return cw.n, err
+	}
+	for _, r := range relNames {
+		if err := writeString(cw, r); err != nil {
+			return cw.n, err
+		}
+		rs := ix.rels[r]
+		if err := writeU64(cw, uint64(rs.tuples)); err != nil {
+			return cw.n, err
+		}
+		if err := writeU64(cw, uint64(rs.totalLen)); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// Read deserializes an index previously written with WriteTo, validating it
+// against the graph it will serve: the node-length table must cover exactly
+// numNodes nodes, posting lists must be strictly sorted with in-range nodes
+// and positive term frequencies, and every length prefix is bounds-checked
+// before it sizes an allocation.
+func Read(r io.Reader, numNodes int) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("textindex: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("textindex: bad magic %q", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("textindex: reading version: %w", err)
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("textindex: unsupported version %d", version)
+	}
+	n, err := readU64(br)
+	if err != nil {
+		return nil, fmt.Errorf("textindex: reading node count: %w", err)
+	}
+	if n != uint64(numNodes) {
+		return nil, fmt.Errorf("textindex: index covers %d nodes, graph has %d", n, numNodes)
+	}
+	ix := &Index{
+		postings: make(map[string][]Posting),
+		df:       make(map[string]map[string]int),
+		rels:     make(map[string]*relationStats),
+		nodeLen:  make([]int, numNodes),
+	}
+	for i := range ix.nodeLen {
+		v, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("textindex: reading node length %d: %w", i, err)
+		}
+		ix.nodeLen[i] = int(v)
+	}
+	numTerms, err := readU64(br)
+	if err != nil {
+		return nil, fmt.Errorf("textindex: reading term count: %w", err)
+	}
+	prevTerm := ""
+	for t := uint64(0); t < numTerms; t++ {
+		term, err := readIndexString(br)
+		if err != nil {
+			return nil, fmt.Errorf("textindex: reading term %d: %w", t, err)
+		}
+		if t > 0 && term <= prevTerm {
+			return nil, fmt.Errorf("textindex: terms not strictly sorted at %q", term)
+		}
+		prevTerm = term
+		count, err := readU64(br)
+		if err != nil {
+			return nil, fmt.Errorf("textindex: reading posting count of %q: %w", term, err)
+		}
+		if count > uint64(numNodes) {
+			return nil, fmt.Errorf("textindex: term %q has %d postings for %d nodes", term, count, numNodes)
+		}
+		ps := make([]Posting, 0, min(int(count), maxPreallocEntries))
+		prev := graph.NodeID(-1)
+		for i := uint64(0); i < count; i++ {
+			node, err := readU32(br)
+			if err != nil {
+				return nil, fmt.Errorf("textindex: reading posting %d of %q: %w", i, term, err)
+			}
+			tf, err := readU32(br)
+			if err != nil {
+				return nil, fmt.Errorf("textindex: reading tf %d of %q: %w", i, term, err)
+			}
+			if node >= uint32(numNodes) {
+				return nil, fmt.Errorf("textindex: posting of %q references node %d of %d", term, node, numNodes)
+			}
+			if graph.NodeID(node) <= prev {
+				return nil, fmt.Errorf("textindex: postings of %q not strictly sorted at node %d", term, node)
+			}
+			prev = graph.NodeID(node)
+			if tf == 0 {
+				return nil, fmt.Errorf("textindex: posting of %q has zero tf", term)
+			}
+			ps = append(ps, Posting{Node: graph.NodeID(node), TF: int(tf)})
+		}
+		ix.postings[term] = ps
+		dfRels, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("textindex: reading df count of %q: %w", term, err)
+		}
+		byRel := make(map[string]int, min(int(dfRels), maxPreallocEntries))
+		prevRel := ""
+		for i := uint32(0); i < dfRels; i++ {
+			rel, err := readIndexString(br)
+			if err != nil {
+				return nil, fmt.Errorf("textindex: reading df relation %d of %q: %w", i, term, err)
+			}
+			if i > 0 && rel <= prevRel {
+				return nil, fmt.Errorf("textindex: df relations of %q not strictly sorted at %q", term, rel)
+			}
+			prevRel = rel
+			c, err := readU32(br)
+			if err != nil {
+				return nil, fmt.Errorf("textindex: reading df of %q/%q: %w", term, rel, err)
+			}
+			byRel[rel] = int(c)
+		}
+		ix.df[term] = byRel
+	}
+	numRels, err := readU64(br)
+	if err != nil {
+		return nil, fmt.Errorf("textindex: reading relation count: %w", err)
+	}
+	prevRel := ""
+	for i := uint64(0); i < numRels; i++ {
+		name, err := readIndexString(br)
+		if err != nil {
+			return nil, fmt.Errorf("textindex: reading relation %d: %w", i, err)
+		}
+		if i > 0 && name <= prevRel {
+			return nil, fmt.Errorf("textindex: relations not strictly sorted at %q", name)
+		}
+		prevRel = name
+		tuples, err := readU64(br)
+		if err != nil {
+			return nil, fmt.Errorf("textindex: reading tuple count of %q: %w", name, err)
+		}
+		totalLen, err := readU64(br)
+		if err != nil {
+			return nil, fmt.Errorf("textindex: reading total length of %q: %w", name, err)
+		}
+		if tuples > uint64(numNodes) {
+			return nil, fmt.Errorf("textindex: relation %q claims %d tuples for %d nodes", name, tuples, numNodes)
+		}
+		ix.rels[name] = &relationStats{tuples: int(tuples), totalLen: int(totalLen)}
+	}
+	return ix, nil
+}
+
+// Equal reports whether two indexes hold identical postings, statistics and
+// node lengths — the round-trip check of the serialization tests.
+func (ix *Index) Equal(other *Index) bool {
+	if len(ix.postings) != len(other.postings) || len(ix.df) != len(other.df) ||
+		len(ix.rels) != len(other.rels) || len(ix.nodeLen) != len(other.nodeLen) {
+		return false
+	}
+	for i, n := range ix.nodeLen {
+		if other.nodeLen[i] != n {
+			return false
+		}
+	}
+	for t, ps := range ix.postings {
+		ops := other.postings[t]
+		if len(ops) != len(ps) {
+			return false
+		}
+		for i := range ps {
+			if ps[i] != ops[i] {
+				return false
+			}
+		}
+	}
+	for t, byRel := range ix.df {
+		oRel := other.df[t]
+		if len(oRel) != len(byRel) {
+			return false
+		}
+		for r, c := range byRel {
+			if oRel[r] != c {
+				return false
+			}
+		}
+	}
+	for r, rs := range ix.rels {
+		ors := other.rels[r]
+		if ors == nil || *ors != *rs {
+			return false
+		}
+	}
+	return true
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func readIndexString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxTermLen {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	var sb strings.Builder
+	if _, err := io.CopyN(&sb, r, int64(n)); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,114 @@
+package textindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"cirank/internal/graph"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := testGraph()
+	ix := Build(g)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := Read(bytes.NewReader(buf.Bytes()), g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Equal(loaded) || !loaded.Equal(ix) {
+		t.Fatal("round-tripped index not Equal to the original")
+	}
+	// Spot-check the lookups behind Equal.
+	for _, term := range []string{"tsimmis", "ullman", "mediation"} {
+		if got, want := loaded.DFTotal(term), ix.DFTotal(term); got != want {
+			t.Errorf("DFTotal(%q) = %d, want %d", term, got, want)
+		}
+		a, b := ix.Postings(term), loaded.Postings(term)
+		if len(a) != len(b) {
+			t.Fatalf("Postings(%q): %d entries, want %d", term, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("Postings(%q)[%d] = %+v, want %+v", term, i, b[i], a[i])
+			}
+		}
+	}
+	if got, want := loaded.RelationTuples("Paper"), ix.RelationTuples("Paper"); got != want {
+		t.Errorf("RelationTuples(Paper) = %d, want %d", got, want)
+	}
+
+	// The encoding is deterministic: a second serialization is byte-identical.
+	var again bytes.Buffer
+	if _, err := ix.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two serializations of the same index differ")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	g := testGraph()
+	ix := Build(g)
+	if !ix.Equal(ix) {
+		t.Fatal("index not Equal to itself")
+	}
+	b := graph.NewBuilder(1)
+	b.AddNode(graph.Node{Relation: "Other", Text: "something else", Words: 2})
+	other := Build(b.Build())
+	if ix.Equal(other) || other.Equal(ix) {
+		t.Error("indexes over different corpora reported Equal")
+	}
+}
+
+func TestReadRejectsCorruptStreams(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if _, err := Build(g).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mutate := func(f func(d []byte) []byte) []byte {
+		d := append([]byte(nil), valid...)
+		return f(d)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", mutate(func(d []byte) []byte { d[0] = 'X'; return d })},
+		{"bad version", mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[4:], 99)
+			return d
+		})},
+		{"truncated", valid[:len(valid)/2]},
+		{"truncated header", valid[:6]},
+		{"huge term length", mutate(func(d []byte) []byte {
+			// The node-length table ends at 4+4+8+4*numNodes; the first term's
+			// u64 term-count sits next, then the term's u32 length prefix.
+			off := 4 + 4 + 8 + 4*4 + 8
+			binary.LittleEndian.PutUint32(d[off:], 1<<30)
+			return d
+		})},
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewReader(c.data), g.NumNodes()); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := Read(bytes.NewReader(valid), g.NumNodes()+1); err == nil ||
+		!strings.Contains(err.Error(), "nodes") {
+		t.Errorf("node-count mismatch: err = %v, want node-count error", err)
+	}
+}

@@ -1,0 +1,395 @@
+package cirank
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// saveV2 serializes the engine and returns the snapshot bytes.
+func saveV2(t testing.TB, eng *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// writeSnapFile writes snapshot bytes into a temp file for Open.
+func writeSnapFile(t testing.TB, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "eng.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// findEntry locates the section-table entry for name and returns its byte
+// offset within data plus the section's (offset, length).
+func findEntry(t testing.TB, data []byte, name string) (entryOff, off, length int) {
+	t.Helper()
+	count := int(binary.LittleEndian.Uint32(data[8:]))
+	for i := 0; i < count; i++ {
+		e := snapHeaderSize + i*snapEntrySize
+		got := string(bytes.TrimRight(data[e:e+snapNameLen], "\x00"))
+		if got == name {
+			return e, int(binary.LittleEndian.Uint64(data[e+16:])), int(binary.LittleEndian.Uint64(data[e+24:]))
+		}
+	}
+	t.Fatalf("section %q not found", name)
+	return 0, 0, 0
+}
+
+// fixSectionCRC recomputes one entry's payload CRC after a payload mutation.
+func fixSectionCRC(data []byte, entryOff int) {
+	off := binary.LittleEndian.Uint64(data[entryOff+16:])
+	length := binary.LittleEndian.Uint64(data[entryOff+24:])
+	crc := crc32.ChecksumIEEE(data[off : off+length])
+	binary.LittleEndian.PutUint32(data[entryOff+32:], crc)
+}
+
+// fixTableCRC recomputes the header's section-table CRC after a table
+// mutation, so structural corruptions reach the check they target instead of
+// dying at the checksum gate.
+func fixTableCRC(data []byte) {
+	count := int(binary.LittleEndian.Uint32(data[8:]))
+	table := data[snapHeaderSize : snapHeaderSize+count*snapEntrySize]
+	binary.LittleEndian.PutUint32(data[12:], crc32.ChecksumIEEE(table))
+}
+
+// mutated returns a copy of data with f applied.
+func mutated(data []byte, f func([]byte)) []byte {
+	out := append([]byte(nil), data...)
+	f(out)
+	return out
+}
+
+// requireSameResults asserts two engines return identical answers (scores,
+// rows and tree edges) for the query.
+func requireSameResults(t *testing.T, a, b *Engine, query string, k int) {
+	t.Helper()
+	ra, err := a.Search(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Search(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("result counts differ for %q: %d vs %d", query, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Score != rb[i].Score {
+			t.Errorf("result %d for %q: score %g vs %g", i, query, ra[i].Score, rb[i].Score)
+		}
+		if len(ra[i].Rows) != len(rb[i].Rows) {
+			t.Fatalf("result %d for %q: %d vs %d rows", i, query, len(ra[i].Rows), len(rb[i].Rows))
+		}
+		for j := range ra[i].Rows {
+			if ra[i].Rows[j] != rb[i].Rows[j] {
+				t.Errorf("result %d row %d for %q: %+v vs %+v", i, j, query, ra[i].Rows[j], rb[i].Rows[j])
+			}
+		}
+		if len(ra[i].Edges) != len(rb[i].Edges) {
+			t.Fatalf("result %d for %q: %d vs %d edges", i, query, len(ra[i].Edges), len(rb[i].Edges))
+		}
+		for j := range ra[i].Edges {
+			if ra[i].Edges[j] != rb[i].Edges[j] {
+				t.Errorf("result %d edge %d for %q: %v vs %v", i, j, query, ra[i].Edges[j], rb[i].Edges[j])
+			}
+		}
+	}
+}
+
+// TestOpenMmapSkipsBuild is the headline property of the v2 format: Open
+// must reach a queryable engine without running PageRank, the star-index
+// build or the text-index build, and must answer exactly like the engine
+// that was saved.
+func TestOpenMmapSkipsBuild(t *testing.T) {
+	eng := fig2Engine(t, DefaultConfig())
+	path := writeSnapFile(t, saveV2(t, eng))
+	loaded, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loaded.BuildStats()
+	if st.Source != SourceMmap {
+		t.Errorf("BuildStats().Source = %q, want %q", st.Source, SourceMmap)
+	}
+	if st.PageRank.Duration != 0 || st.PathIndex.Duration != 0 ||
+		st.TextIndex.Duration != 0 || st.Graph.Duration != 0 {
+		t.Errorf("opened engine reports build-stage work: %+v", st)
+	}
+	if loaded.starIdx == nil {
+		t.Error("star index not restored from snapshot")
+	}
+	requireSameResults(t, eng, loaded, "papakonstantinou ullman", 3)
+	requireSameResults(t, eng, loaded, "tsimmis", 2)
+	a, _ := eng.Importance("Paper", "p2")
+	b, ok := loaded.Importance("Paper", "p2")
+	if !ok || a != b {
+		t.Errorf("importance after open = %g, %v; want %g", b, ok, a)
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestOpenDeterministicResave pins the canonical-encoding property end to
+// end: an engine opened zero-copy re-saves to exactly the bytes it was
+// opened from.
+func TestOpenDeterministicResave(t *testing.T) {
+	eng := fig2Engine(t, DefaultConfig())
+	snap := saveV2(t, eng)
+	loaded, err := Open(writeSnapFile(t, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	again := saveV2(t, loaded)
+	if !bytes.Equal(snap, again) {
+		t.Fatalf("re-save differs: %d vs %d bytes", len(snap), len(again))
+	}
+}
+
+// TestOpenAcceptsV1 checks the ops convenience path: pointing Open at a
+// legacy v1 file falls back to the stream decoder instead of failing.
+func TestOpenAcceptsV1(t *testing.T) {
+	loaded, err := Open(filepath.Join("testdata", "snapshots", "fig2_v1.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if got := loaded.BuildStats().Source; got != SourceStream {
+		t.Errorf("v1 file opened with Source %q, want %q", got, SourceStream)
+	}
+	if _, err := loaded.Search("ullman", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenV1Snapshot loads the committed v1-format snapshot and checks it
+// still produces the same answers as a fresh build of the same fixture —
+// the backward-compatibility contract for snapshots written before the
+// sectioned format.
+func TestGoldenV1Snapshot(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "snapshots", "fig2_v1.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("committed v1 snapshot no longer loads: %v", err)
+	}
+	fresh := fig2Engine(t, DefaultConfig())
+	if loaded.NumNodes() != fresh.NumNodes() || loaded.NumEdges() != fresh.NumEdges() {
+		t.Fatalf("golden graph shape %d/%d, want %d/%d",
+			loaded.NumNodes(), loaded.NumEdges(), fresh.NumNodes(), fresh.NumEdges())
+	}
+	requireSameResults(t, fresh, loaded, "papakonstantinou ullman", 3)
+	requireSameResults(t, fresh, loaded, "tsimmis ullman", 2)
+	// A v1 engine re-saves in v2 and keeps answering identically.
+	resaved, err := LoadEngine(bytes.NewReader(saveV2(t, loaded)))
+	if err != nil {
+		t.Fatalf("v1 engine fails to round-trip through v2: %v", err)
+	}
+	requireSameResults(t, fresh, resaved, "papakonstantinou ullman", 3)
+}
+
+// mergedEngine builds an IMDB engine where one person appears in two role
+// tables (Actor nm1, Director nm9) merged via a shared entity key (§VI-A).
+func mergedEngine(t testing.TB) *Engine {
+	t.Helper()
+	b := NewIMDBBuilder()
+	insert := func(table, key, text, entity string) {
+		t.Helper()
+		if err := b.InsertEntity(table, key, text, entity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert("Actor", "nm1", "Clint Eastwood", "person-1")
+	insert("Director", "nm9", "Clint Eastwood", "person-1")
+	insert("Movie", "m1", "Million Dollar Baby", "")
+	insert("Movie", "m2", "Unforgiven", "")
+	insert("Actor", "nm2", "Morgan Freeman", "")
+	b.MustRelate("acts_in", "nm1", "m1")
+	b.MustRelate("directs", "nm9", "m1")
+	b.MustRelate("directs", "nm9", "m2")
+	b.MustRelate("acts_in", "nm2", "m1")
+	b.MustRelate("acts_in", "nm2", "m2")
+	eng, err := b.Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestMergedEntityLookupSurvivesReload is the satellite regression for the
+// v1 limitation that motivated the entmap section: a merged-away role key
+// (the Director row whose tuple merged into the Actor node) must keep
+// resolving through Importance after every load path.
+func TestMergedEntityLookupSurvivesReload(t *testing.T) {
+	eng := mergedEngine(t)
+	actorImp, ok := eng.Importance("Actor", "nm1")
+	if !ok {
+		t.Fatal("built engine cannot resolve Actor/nm1")
+	}
+	dirImp, ok := eng.Importance("Director", "nm9")
+	if !ok {
+		t.Fatal("built engine cannot resolve merged key Director/nm9")
+	}
+	if actorImp != dirImp {
+		t.Fatalf("merged tuples report different importance: %g vs %g", actorImp, dirImp)
+	}
+
+	snap := saveV2(t, eng)
+	streamed, err := LoadEngine(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(writeSnapFile(t, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	for name, loaded := range map[string]*Engine{"stream": streamed, "mmap": opened} {
+		for _, probe := range []struct{ table, key string }{
+			{"Actor", "nm1"}, {"Director", "nm9"}, {"Movie", "m2"},
+		} {
+			got, ok := loaded.Importance(probe.table, probe.key)
+			if !ok {
+				t.Errorf("%s load cannot resolve %s/%s", name, probe.table, probe.key)
+				continue
+			}
+			want, _ := eng.Importance(probe.table, probe.key)
+			if got != want {
+				t.Errorf("%s load: importance of %s/%s = %g, want %g", name, probe.table, probe.key, got, want)
+			}
+		}
+		if _, ok := loaded.Importance("Actor", "missing"); ok {
+			t.Errorf("%s load resolves a key that was never inserted", name)
+		}
+	}
+}
+
+// TestSnapshotV2Corruptions drives every validation branch of the v2
+// decoder with a targeted mutation; each must be rejected with a typed
+// ErrBadSnapshot, never a panic or a silently wrong engine.
+func TestSnapshotV2Corruptions(t *testing.T) {
+	snap := saveV2(t, fig2Engine(t, DefaultConfig()))
+	metaEntry, metaOff, _ := findEntry(t, snap, secMeta)
+	impEntry, impOff, _ := findEntry(t, snap, secImp)
+	_ = impEntry
+
+	cases := map[string][]byte{
+		"truncated header":     snap[:10],
+		"truncated table":      snap[:snapHeaderSize+snapEntrySize-4],
+		"truncated payloads":   snap[:len(snap)-8],
+		"bad magic":            mutated(snap, func(d []byte) { d[0] = 'X' }),
+		"future version":       mutated(snap, func(d []byte) { binary.LittleEndian.PutUint32(d[4:], 3) }),
+		"zero section count":   mutated(snap, func(d []byte) { binary.LittleEndian.PutUint32(d[8:], 0) }),
+		"huge section count":   mutated(snap, func(d []byte) { binary.LittleEndian.PutUint32(d[8:], maxSections+1) }),
+		"table CRC mismatch":   mutated(snap, func(d []byte) { d[snapHeaderSize] ^= 0xff }),
+		"payload CRC mismatch": mutated(snap, func(d []byte) { d[impOff] ^= 0xff }),
+		"unknown section name": mutated(snap, func(d []byte) {
+			copy(d[metaEntry:metaEntry+snapNameLen], append([]byte("bogus"), make([]byte, snapNameLen-5)...))
+			fixTableCRC(d)
+		}),
+		"nonzero reserved word": mutated(snap, func(d []byte) {
+			d[metaEntry+36] = 1
+			fixTableCRC(d)
+		}),
+		"misaligned offset": mutated(snap, func(d []byte) {
+			binary.LittleEndian.PutUint64(d[metaEntry+16:], uint64(metaOff+8))
+			fixTableCRC(d)
+		}),
+		"overlapping sections": mutated(snap, func(d []byte) {
+			nodesEntry, _, _ := findEntry(t, d, secNodes)
+			binary.LittleEndian.PutUint64(d[nodesEntry+16:], uint64(metaOff))
+			fixTableCRC(d)
+		}),
+		"section out of bounds": mutated(snap, func(d []byte) {
+			binary.LittleEndian.PutUint64(d[metaEntry+24:], uint64(len(d)))
+			fixTableCRC(d)
+		}),
+		"unknown meta flags": mutated(snap, func(d []byte) {
+			binary.LittleEndian.PutUint64(d[metaOff+32:], 1<<7)
+			fixSectionCRC(d, metaEntry)
+			fixTableCRC(d)
+		}),
+		"star sections without flag": mutated(snap, func(d []byte) {
+			binary.LittleEndian.PutUint64(d[metaOff+32:], 0)
+			fixSectionCRC(d, metaEntry)
+			fixTableCRC(d)
+		}),
+		"node count mismatch": mutated(snap, func(d []byte) {
+			binary.LittleEndian.PutUint64(d[metaOff+16:], 1<<40)
+			fixSectionCRC(d, metaEntry)
+			fixTableCRC(d)
+		}),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := LoadEngine(bytes.NewReader(data))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("error is not ErrBadSnapshot: %v", err)
+			}
+			// The mmap path shares the decoder and must agree.
+			if _, err := Open(writeSnapFile(t, data)); !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("Open error is not ErrBadSnapshot: %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotUnsortedEntMapRejected pins the canonical-encoding rule: the
+// entity map must be strictly (table, key)-sorted, which also catches
+// duplicates.
+func TestSnapshotUnsortedEntMapRejected(t *testing.T) {
+	eng := fig2Engine(t, DefaultConfig())
+	if len(eng.mapEntries) < 2 {
+		t.Fatal("fixture has too few mapping entries")
+	}
+	// Re-save with the first two mapping entries swapped; all CRCs are
+	// recomputed by Save, so only the sortedness check can reject it.
+	eng.mapEntries[0], eng.mapEntries[1] = eng.mapEntries[1], eng.mapEntries[0]
+	swapped := saveV2(t, eng)
+	eng.mapEntries[0], eng.mapEntries[1] = eng.mapEntries[1], eng.mapEntries[0]
+	_, err := LoadEngine(bytes.NewReader(swapped))
+	if err == nil {
+		t.Fatal("unsorted entity map accepted")
+	}
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("error is not ErrBadSnapshot: %v", err)
+	}
+}
+
+// TestLoadEngineStreamSource checks the io.Reader path reports stream
+// provenance and zero stage timings.
+func TestLoadEngineStreamSource(t *testing.T) {
+	snap := saveV2(t, fig2Engine(t, DefaultConfig()))
+	loaded, err := LoadEngine(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loaded.BuildStats()
+	if st.Source != SourceStream {
+		t.Errorf("Source = %q, want %q", st.Source, SourceStream)
+	}
+	if st.PageRank.Duration != 0 || st.Total != 0 {
+		t.Errorf("loaded engine reports build work: %+v", st)
+	}
+}
