@@ -8,7 +8,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FUZZMINIMIZE ?= 5x
 
-.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-smoke check serve
+.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-search bench-smoke check serve
 
 all: check
 
@@ -30,7 +30,7 @@ vet:
 # lint enforces the documentation contract: every exported identifier in
 # the listed packages must carry a doc comment.
 lint:
-	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest internal/mmapio
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench internal/searchbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest internal/mmapio
 
 # diff runs the differential correctness harness: every committed seed
 # generates a random workload and cross-checks branch-and-bound against
@@ -66,23 +66,36 @@ bench:
 
 # bench-json regenerates the tracked performance trajectories: the
 # offline-build grid (BENCH_build.json: scale x workers x stage, including
-# the frozen map-based baseline) and the engine-startup comparison
+# the frozen map-based baseline), the engine-startup comparison
 # (BENCH_load.json: cold build vs stream snapshot load vs zero-copy mmap
-# open). Commit the results when the pipeline or snapshot format changes.
+# open) and the online-search grid (BENCH_search.json: per-query p50/p99
+# latency and allocations over a skewed query stream, live engine vs the
+# frozen pre-rewrite allocator). Commit the results when the pipeline,
+# snapshot format or search hot path changes.
 bench-json:
 	$(GO) run ./cmd/cirank-bench -out BENCH_build.json
 	$(GO) run ./cmd/cirank-bench -mode load -out BENCH_load.json
+	$(GO) run ./cmd/cirank-bench -mode search -out BENCH_search.json
 
-# bench-smoke is the CI gate for the build pipeline: every BenchmarkBuild
-# cell runs once (catching bit-rot in the grid itself), the
-# build-determinism suites run under the race detector, and a reduced grid
-# is diffed against the committed BENCH_build.json baseline. The diff is
-# warn-only (leading '-'): shared CI runners are too noisy to gate merges
-# on wall-clock, but the delta table in the log shows drift early.
+# bench-search is the ad-hoc view of the online hot path: the BenchmarkSearch
+# grid (scale x workers x k over the skewed stream, plus the frozen
+# naive-alloc baseline) with allocation counts, without touching the tracked
+# JSON. Use `make bench-json` to refresh BENCH_search.json.
+bench-search:
+	$(GO) test -run '^$$' -bench '^BenchmarkSearch$$' -benchmem .
+
+# bench-smoke is the CI gate for the benchmark surface: every BenchmarkBuild
+# and BenchmarkSearch cell runs once (catching bit-rot in the grids
+# themselves), the build-determinism suites run under the race detector, and
+# reduced grids are diffed against the committed BENCH_*.json baselines. The
+# diffs are warn-only (leading '-'): shared CI runners are too noisy to gate
+# merges on wall-clock, but the delta tables in the log show drift early.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkBuild$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench '^BenchmarkSearch$$' -benchtime 1x .
 	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch' ./internal/pathindex ./internal/textindex ./internal/graph .
 	-$(GO) run ./cmd/cirank-bench -compare BENCH_build.json -scales 0.25 -workers 1,2 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode load -compare BENCH_load.json -scales 0.25 -out /dev/null
+	-$(GO) run ./cmd/cirank-bench -mode search -compare BENCH_search.json -scales 0.12 -benchtime 1x -out /dev/null
 
 check: build vet lint race

@@ -1,0 +1,94 @@
+package cirank_test
+
+// The online-search benchmark grid: dataset size × worker count × answer
+// count k, over the skewed AOL-style query stream internal/searchbench
+// derives. The same workload feeds cmd/cirank-bench -mode search, so `go
+// test -bench BenchmarkSearch` and the tracked BENCH_search.json measure the
+// same queries against the same model.
+//
+// Alongside the live engine the grid runs the frozen "naive-alloc" baseline
+// (the engine as it was before the pooled-scratch rewrite, preserved in
+// internal/searchbench) at workers=1, making the allocation win visible in
+// plain benchstat output on any machine.
+//
+// Run with `make bench-json` (or `make bench-search` for an ad-hoc pass) to
+// regenerate BENCH_search.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"cirank/internal/search"
+	"cirank/internal/searchbench"
+)
+
+// searchBenchScales are the benchmarked dataset sizes (multipliers on the
+// default DBLP table counts). Online search visits a bounded neighbourhood
+// per query, so the scales sit below the build grid's: latency growth comes
+// from denser term postings, not raw graph size.
+var searchBenchScales = []struct {
+	name  string
+	scale float64
+}{
+	{"small", 0.12},
+	{"medium", 0.25},
+	{"large", 0.5},
+}
+
+var (
+	searchBenchWorkers = []int{1, 2, 4}
+	searchBenchKs      = []int{5, 10}
+)
+
+const searchBenchDiameter = 4
+
+func BenchmarkSearch(b *testing.B) {
+	for _, sc := range searchBenchScales {
+		dataSeed, querySeed := searchbench.DefaultSeeds("dblp")
+		w, err := searchbench.Load("dblp", sc.scale, dataSeed, querySeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range searchBenchKs {
+			b.Run(fmt.Sprintf("stage=search/data=dblp-%s/k=%d", sc.name, k), func(b *testing.B) {
+				for _, workers := range searchBenchWorkers {
+					b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+						benchSearchStream(b, w, k, workers)
+					})
+				}
+			})
+			b.Run(fmt.Sprintf("stage=naive-alloc/data=dblp-%s/k=%d/workers=1", sc.name, k), func(b *testing.B) {
+				benchNaiveAllocStream(b, w, k)
+			})
+		}
+	}
+}
+
+func benchSearchStream(b *testing.B, w *searchbench.Workload, k, workers int) {
+	b.ReportAllocs()
+	s := search.New(w.M)
+	opts := search.Options{K: k, Diameter: searchBenchDiameter, Workers: workers}
+	// Warm the scratch pool so the measured loop sees the steady state a
+	// long-running server reaches.
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.TopK(w.Terms(i), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.TopK(w.Terms(i), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchNaiveAllocStream(b *testing.B, w *searchbench.Workload, k int) {
+	b.ReportAllocs()
+	opts := search.Options{K: k, Diameter: searchBenchDiameter, Workers: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := searchbench.NaiveAllocTopK(w.M, w.Terms(i), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

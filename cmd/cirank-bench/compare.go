@@ -14,11 +14,14 @@ import (
 // (default 3x) fails the run. Everything else is reported as a delta table
 // and left to humans.
 
-// cellKey identifies one grid cell across runs.
+// cellKey identifies one grid cell across runs. K participates only on
+// search-mode cells; build and load cells carry K=0 on both sides (older
+// baselines without the field unmarshal to 0), so their keys are unchanged.
 type cellKey struct {
 	Stage   string
 	Scale   float64
 	Workers int
+	K       int
 }
 
 // cellDelta is the comparison of one matched grid cell.
@@ -46,12 +49,12 @@ type comparison struct {
 func compareReports(base, cur report) comparison {
 	index := make(map[cellKey]benchResult, len(base.Results))
 	for _, r := range base.Results {
-		index[cellKey{r.Stage, r.Scale, r.Workers}] = r
+		index[cellKey{r.Stage, r.Scale, r.Workers, r.K}] = r
 	}
 	var c comparison
 	seen := make(map[cellKey]bool, len(cur.Results))
 	for _, r := range cur.Results {
-		k := cellKey{r.Stage, r.Scale, r.Workers}
+		k := cellKey{r.Stage, r.Scale, r.Workers, r.K}
 		seen[k] = true
 		b, ok := index[k]
 		if !ok {
@@ -65,7 +68,7 @@ func compareReports(base, cur report) comparison {
 		c.Deltas = append(c.Deltas, d)
 	}
 	for _, r := range base.Results {
-		k := cellKey{r.Stage, r.Scale, r.Workers}
+		k := cellKey{r.Stage, r.Scale, r.Workers, r.K}
 		if !seen[k] {
 			c.BaseOnly = append(c.BaseOnly, k)
 		}
@@ -93,15 +96,24 @@ func (c comparison) render(w *os.File, tolerance float64) {
 		if d.Ratio > tolerance {
 			mark = "!"
 		}
-		fmt.Fprintf(w, "%s %-12s scale=%-5g workers=%-2d  %.2fx  (%d -> %d ns/op, %d -> %d allocs)\n",
-			mark, d.Key.Stage, d.Key.Scale, d.Key.Workers, d.Ratio, d.BaseNs, d.CurNs, d.BaseAllo, d.CurAllo)
+		fmt.Fprintf(w, "%s %-12s scale=%-5g workers=%-2d%s  %.2fx  (%d -> %d ns/op, %d -> %d allocs)\n",
+			mark, d.Key.Stage, d.Key.Scale, d.Key.Workers, kSuffix(d.Key), d.Ratio, d.BaseNs, d.CurNs, d.BaseAllo, d.CurAllo)
 	}
 	for _, k := range c.BaseOnly {
-		fmt.Fprintf(w, "? baseline-only cell: %s scale=%g workers=%d\n", k.Stage, k.Scale, k.Workers)
+		fmt.Fprintf(w, "? baseline-only cell: %s scale=%g workers=%d%s\n", k.Stage, k.Scale, k.Workers, kSuffix(k))
 	}
 	for _, k := range c.CurOnly {
-		fmt.Fprintf(w, "? new cell without baseline: %s scale=%g workers=%d\n", k.Stage, k.Scale, k.Workers)
+		fmt.Fprintf(w, "? new cell without baseline: %s scale=%g workers=%d%s\n", k.Stage, k.Scale, k.Workers, kSuffix(k))
 	}
+}
+
+// kSuffix renders the k axis on search-mode cells; build and load cells
+// (K=0) keep their old one-line format.
+func kSuffix(k cellKey) string {
+	if k.K == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" k=%-2d", k.K)
 }
 
 // loadBaseline reads and schema-checks a committed report against the

@@ -10,12 +10,23 @@
 //	cirank-bench -dataset dblp -scales 0.25,1 -workers 1,2,4,8 -out -
 //	cirank-bench -compare BENCH_build.json -scales 0.25 -out -
 //	cirank-bench -mode load -out BENCH_load.json
+//	cirank-bench -mode search -out BENCH_search.json
 //
 // -mode load measures engine startup instead of the build grid: for each
 // scale it times the cold public-API build, a stream snapshot load
 // (cirank.LoadEngine) and a zero-copy mmap open (cirank.Open), writing
 // BENCH_load.json under its own schema. The speedup_vs_build column is the
 // point of the exercise: how much startup time a snapshot saves.
+//
+// -mode search measures the online branch-and-bound hot path: for each scale
+// it replays internal/searchbench's skewed AOL-style query stream against the
+// live pooled engine (every workers × k cell) and against the frozen
+// pre-rewrite "naive-alloc" baseline, timing every query individually so the
+// report can carry p50/p99 latency, throughput and exact allocations per
+// query (see the searchbench package comment for the field-by-field format).
+// -benchtime sets the measured budget per cell ("4x" = four stream passes,
+// or a duration); -seed is the dataset seed and -queryseed the workload
+// seed, both defaulting to the dataset's proven pair.
 //
 // With -compare the freshly measured grid is diffed against the committed
 // baseline cell by cell (matched on stage, scale and workers) and the exit
@@ -42,6 +53,7 @@ import (
 	"testing"
 
 	"cirank/internal/buildbench"
+	"cirank/internal/searchbench"
 )
 
 // reportSchema and loadSchema name the two report document formats (build
@@ -50,6 +62,7 @@ import (
 const (
 	reportSchema = "cirank/bench-build/v1"
 	loadSchema   = "cirank/bench-load/v1"
+	searchSchema = "cirank/bench-search/v1"
 )
 
 // benchResult is one grid cell of the report.
@@ -59,10 +72,19 @@ type benchResult struct {
 	Nodes   int     `json:"nodes"`
 	Edges   int     `json:"edges"`
 	Workers int     `json:"workers"`
-	N       int     `json:"n"`
-	NsPerOp int64   `json:"ns_per_op"`
-	BytesOp int64   `json:"bytes_per_op"`
-	Allocs  int64   `json:"allocs_per_op"`
+	// K is the requested answer count on search-mode cells (0 otherwise).
+	K       int   `json:"k,omitempty"`
+	N       int   `json:"n"`
+	NsPerOp int64 `json:"ns_per_op"`
+	BytesOp int64 `json:"bytes_per_op"`
+	Allocs  int64 `json:"allocs_per_op"`
+	// P50Ns/P99Ns/QPS/AllocsPerQuery are set on search-mode cells, where
+	// every query is timed individually: latency percentiles, stream
+	// throughput, and the exact runtime allocation counter per query.
+	P50Ns          int64   `json:"p50_ns,omitempty"`
+	P99Ns          int64   `json:"p99_ns,omitempty"`
+	QPS            float64 `json:"queries_per_sec,omitempty"`
+	AllocsPerQuery float64 `json:"allocs_per_query,omitempty"`
 	// SpeedupVsW1 is this stage's workers=1 time divided by this cell's
 	// time (1 for the workers=1 cells themselves).
 	SpeedupVsW1 float64 `json:"speedup_vs_w1"`
@@ -72,18 +94,24 @@ type benchResult struct {
 	// SpeedupVsBuild, set on load-mode cells, is the cold build's time at
 	// the same scale divided by this cell's time.
 	SpeedupVsBuild float64 `json:"speedup_vs_build,omitempty"`
+	// SpeedupVsNaiveAlloc, set on search-mode "search" cells, is the frozen
+	// pre-rewrite engine's time at the same scale and k divided by this
+	// cell's time.
+	SpeedupVsNaiveAlloc float64 `json:"speedup_vs_naive_alloc,omitempty"`
 }
 
 // report is the BENCH_build.json document.
 type report struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Dataset    string        `json:"dataset"`
-	Seed       int64         `json:"seed"`
-	Note       string        `json:"note"`
-	Results    []benchResult `json:"results"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Dataset    string `json:"dataset"`
+	Seed       int64  `json:"seed"`
+	// QuerySeed drives the search-mode workload sampler and stream skew.
+	QuerySeed int64         `json:"query_seed,omitempty"`
+	Note      string        `json:"note"`
+	Results   []benchResult `json:"results"`
 }
 
 func main() {
@@ -95,7 +123,10 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generation seed")
 		compare   = flag.String("compare", "", "baseline report to diff against (exit 1 past -tolerance)")
 		tolerance = flag.Float64("tolerance", 3.0, "max allowed per-cell slowdown ratio in -compare mode")
-		mode      = flag.String("mode", "build", "what to measure: build (stage grid) or load (cold build vs stream load vs mmap open)")
+		mode      = flag.String("mode", "build", "what to measure: build (stage grid), load (cold build vs stream load vs mmap open) or search (online top-k latency)")
+		ks        = flag.String("ks", "5,10", "comma-separated answer counts k (search mode)")
+		querySeed = flag.Int64("queryseed", -1, "workload seed (search mode; -1 picks the dataset's proven pair)")
+		benchtime = flag.String("benchtime", "4x", "measured budget per search cell: N stream passes (\"4x\") or a duration (\"2s\")")
 	)
 	flag.Parse()
 
@@ -104,8 +135,32 @@ func main() {
 	case "build":
 	case "load":
 		schema = loadSchema
+	case "search":
+		schema = searchSchema
 	default:
-		fail(fmt.Errorf("bad -mode %q: want build or load", *mode))
+		fail(fmt.Errorf("bad -mode %q: want build, load or search", *mode))
+	}
+
+	// The search grid has its own proven defaults: smaller scales (online
+	// search visits a bounded neighbourhood, so the axis is posting density,
+	// not graph size), fewer workers, and the dataset's seed pair known to
+	// yield a full AOL-style workload. Explicit flags always win.
+	if *mode == "search" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["scales"] {
+			*scales = "0.12,0.25,0.5"
+		}
+		if !set["workers"] {
+			*workers = "1,2,4"
+		}
+		defData, defQuery := searchbench.DefaultSeeds(*dataset)
+		if !set["seed"] {
+			*seed = defData
+		}
+		if *querySeed < 0 {
+			*querySeed = defQuery
+		}
 	}
 
 	var baseline report
@@ -127,6 +182,10 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("bad -workers: %w", err))
 	}
+	kList, err := parseInts(*ks)
+	if err != nil {
+		fail(fmt.Errorf("bad -ks: %w", err))
+	}
 
 	rep := report{
 		Schema:     schema,
@@ -145,10 +204,26 @@ func main() {
 			"maps the snapshot file zero-copy (cirank.Open). speedup_vs_build is cold-build " +
 			"time over this cell's time at the same scale."
 	}
+	if *mode == "search" {
+		rep.QuerySeed = *querySeed
+		rep.Note = "Online top-k over the skewed AOL-style query stream; every query timed " +
+			"individually (p50/p99 are per-query latency percentiles, allocs_per_query the " +
+			"exact runtime allocation counter). speedup_vs_naive_alloc compares the pooled " +
+			"live engine against the frozen pre-rewrite per-candidate allocator at the same " +
+			"scale and k, and shows on any machine; speedup_vs_w1 needs gomaxprocs>1."
+	}
 
 	for _, scale := range scaleList {
 		if *mode == "load" {
 			cells, err := runLoadScale(*dataset, scale, *seed)
+			if err != nil {
+				fail(err)
+			}
+			rep.Results = append(rep.Results, cells...)
+			continue
+		}
+		if *mode == "search" {
+			cells, err := runSearchScale(*dataset, scale, *seed, *querySeed, workerList, kList, *benchtime)
 			if err != nil {
 				fail(err)
 			}

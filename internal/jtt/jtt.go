@@ -5,56 +5,96 @@
 // one child.
 //
 // Trees are small (bounded by the diameter limit D, so typically well under
-// a dozen nodes) and are copied freely by the branch-and-bound search, so
-// the representation favors simplicity: a root plus child→parent pointers.
+// a dozen nodes) but the branch-and-bound search materializes millions of
+// them per heavy query, so the representation favors allocation economy: two
+// parallel slices (sorted nodes, parent per node) over one backing array,
+// with an optional Arena that hands out tree storage in bump-allocated
+// chunks and reclaims it wholesale between queries. Trees are immutable:
+// mutating operations return new trees.
 package jtt
 
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"cirank/internal/graph"
 )
 
 // Tree is a rooted tree over data-graph nodes. The zero value is not usable;
-// construct with NewSingle and extend with Grow and Merge. Trees are
-// immutable: mutating operations return new trees.
+// construct with NewSingle (or an Arena) and extend with Grow and Merge.
+//
+// Representation: nodes holds the node set in ascending order; par is
+// parallel to nodes and holds each node's parent, with the root's entry
+// pointing to itself (the sentinel that marks it). Both slices share one
+// backing array, so a tree costs one storage allocation — or none, from an
+// Arena.
 type Tree struct {
-	root   graph.NodeID
-	parent map[graph.NodeID]graph.NodeID // every non-root node → its parent
+	root  graph.NodeID
+	nodes []graph.NodeID // sorted ascending, includes root
+	par   []graph.NodeID // par[i] is nodes[i]'s parent; root points to itself
+}
+
+// newTreeHeap allocates storage for an n-node tree on the heap.
+func newTreeHeap(n int) *Tree {
+	buf := make([]graph.NodeID, 2*n)
+	return &Tree{nodes: buf[:n:n], par: buf[n:]}
 }
 
 // NewSingle returns the single-node tree {v}.
 func NewSingle(v graph.NodeID) *Tree {
-	return &Tree{root: v, parent: map[graph.NodeID]graph.NodeID{}}
+	t := newTreeHeap(1)
+	t.root = v
+	t.nodes[0] = v
+	t.par[0] = v
+	return t
 }
 
 // Root returns the tree's root node.
 func (t *Tree) Root() graph.NodeID { return t.root }
 
 // Size reports the number of nodes in the tree.
-func (t *Tree) Size() int { return len(t.parent) + 1 }
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// idx returns v's position in the sorted node list, or -1 when absent.
+func (t *Tree) idx(v graph.NodeID) int {
+	lo, hi := 0, len(t.nodes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.nodes[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.nodes) && t.nodes[lo] == v {
+		return lo
+	}
+	return -1
+}
 
 // Contains reports whether v is a node of the tree.
-func (t *Tree) Contains(v graph.NodeID) bool {
-	if v == t.root {
-		return true
-	}
-	_, ok := t.parent[v]
-	return ok
-}
+func (t *Tree) Contains(v graph.NodeID) bool { return t.idx(v) >= 0 }
 
-// Nodes returns the tree's nodes in ascending order.
+// Nodes returns the tree's nodes in ascending order. The slice is freshly
+// allocated; use NodeView on hot paths that only read.
 func (t *Tree) Nodes() []graph.NodeID {
-	out := make([]graph.NodeID, 0, t.Size())
-	out = append(out, t.root)
-	for v := range t.parent {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]graph.NodeID, len(t.nodes))
+	copy(out, t.nodes)
 	return out
 }
+
+// NodeView returns the tree's nodes in ascending order, aliasing internal
+// storage: the caller must not modify it, and for arena-allocated trees it
+// is valid only until the arena resets.
+func (t *Tree) NodeView() []graph.NodeID { return t.nodes }
+
+// ParentView returns the parent of each NodeView entry, parallel to it and
+// aliasing internal storage (same caveats as NodeView). The root's entry is
+// the root itself — check against Root before treating it as an edge. One
+// pass over the two views visits every tree edge without allocating, which
+// is how the RWMP split denominators avoid materializing neighbour sets.
+func (t *Tree) ParentView() []graph.NodeID { return t.par }
 
 // Edge is an undirected tree edge, stored with Child pointing away from the
 // root (Parent is nearer the root).
@@ -66,38 +106,58 @@ type Edge struct {
 
 // Edges returns the tree's edges in deterministic (child-ascending) order.
 func (t *Tree) Edges() []Edge {
-	out := make([]Edge, 0, len(t.parent))
-	for c, p := range t.parent {
-		out = append(out, Edge{Child: c, Parent: p})
+	out := make([]Edge, 0, len(t.nodes)-1)
+	for i, v := range t.nodes {
+		if v == t.root {
+			continue
+		}
+		out = append(out, Edge{Child: v, Parent: t.par[i]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Child < out[j].Child })
 	return out
 }
 
-// Parent returns v's parent and false for the root.
+// Parent returns v's parent and false for the root (or for absent nodes).
 func (t *Tree) Parent(v graph.NodeID) (graph.NodeID, bool) {
-	p, ok := t.parent[v]
-	return p, ok
+	i := t.idx(v)
+	if i < 0 || v == t.root {
+		return 0, false
+	}
+	return t.par[i], true
 }
+
+// parentOf returns v's parent; the caller guarantees v is present and not
+// the root.
+func (t *Tree) parentOf(v graph.NodeID) graph.NodeID { return t.par[t.idx(v)] }
 
 // Children returns the children of v in ascending order.
 func (t *Tree) Children(v graph.NodeID) []graph.NodeID {
 	var out []graph.NodeID
-	for c, p := range t.parent {
-		if p == v {
+	for i, c := range t.nodes {
+		if c != t.root && t.par[i] == v {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// hasChild reports whether the node at index i has any children.
+func (t *Tree) hasChild(i int) bool {
+	v := t.nodes[i]
+	for j, c := range t.nodes {
+		if c != t.root && t.par[j] == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Neighbors returns v's tree neighbours (parent and children) in ascending
 // order. This is N(v) ∩ V(T), the set over which RWMP message splits are
-// normalized.
+// normalized. It allocates per call; rwmp's hot path iterates NodeView and
+// Parent instead.
 func (t *Tree) Neighbors(v graph.NodeID) []graph.NodeID {
 	out := t.Children(v)
-	if p, ok := t.parent[v]; ok {
+	if p, ok := t.Parent(v); ok {
 		out = append(out, p)
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	}
@@ -107,42 +167,62 @@ func (t *Tree) Neighbors(v graph.NodeID) []graph.NodeID {
 // Leaves returns the tree's leaves (nodes without children; the root counts
 // only if it is the sole node) in ascending order.
 func (t *Tree) Leaves() []graph.NodeID {
-	hasChild := make(map[graph.NodeID]bool, len(t.parent))
-	for _, p := range t.parent {
-		hasChild[p] = true
-	}
 	var out []graph.NodeID
-	for _, v := range t.Nodes() {
-		if !hasChild[v] && (v != t.root || t.Size() == 1) {
+	for i, v := range t.nodes {
+		if !t.hasChild(i) && (v != t.root || len(t.nodes) == 1) {
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-// clone deep-copies the tree.
-func (t *Tree) clone() *Tree {
-	p := make(map[graph.NodeID]graph.NodeID, len(t.parent)+1)
-	for k, v := range t.parent {
-		p[k] = v
-	}
-	return &Tree{root: t.root, parent: p}
+// Clone returns a heap-allocated deep copy of the tree. Use it to detach a
+// tree from an Arena before the arena resets.
+func (t *Tree) Clone() *Tree {
+	nt := newTreeHeap(len(t.nodes))
+	nt.root = t.root
+	copy(nt.nodes, t.nodes)
+	copy(nt.par, t.par)
+	return nt
+}
+
+// growInto fills dst with t extended by newRoot; storage must already be
+// sized for Size+1 nodes. The caller has validated the grow.
+func (t *Tree) growInto(dst *Tree, newRoot graph.NodeID) {
+	pos := sort.Search(len(t.nodes), func(i int) bool { return t.nodes[i] >= newRoot })
+	copy(dst.nodes, t.nodes[:pos])
+	copy(dst.par, t.par[:pos])
+	dst.nodes[pos] = newRoot
+	copy(dst.nodes[pos+1:], t.nodes[pos:])
+	copy(dst.par[pos+1:], t.par[pos:])
+	dst.par[pos] = newRoot // self-sentinel: newRoot is the root
+	dst.root = newRoot
+	// The old root now hangs off newRoot.
+	oldIdx := dst.idx(t.root)
+	dst.par[oldIdx] = newRoot
 }
 
 // Grow returns a new tree whose root is newRoot and whose single child
 // subtree is t — the tree-growing step of §IV-B. It fails if newRoot is
 // already in t or the data graph lacks an edge between newRoot and t's root.
 func (t *Tree) Grow(g *graph.Graph, newRoot graph.NodeID) (*Tree, error) {
+	if err := t.checkGrow(g, newRoot); err != nil {
+		return nil, err
+	}
+	nt := newTreeHeap(len(t.nodes) + 1)
+	t.growInto(nt, newRoot)
+	return nt, nil
+}
+
+// checkGrow validates a grow without allocating.
+func (t *Tree) checkGrow(g *graph.Graph, newRoot graph.NodeID) error {
 	if t.Contains(newRoot) {
-		return nil, fmt.Errorf("jtt: grow: node %d already in tree", newRoot)
+		return fmt.Errorf("jtt: grow: node %d already in tree", newRoot)
 	}
 	if !g.HasEdge(newRoot, t.root) && !g.HasEdge(t.root, newRoot) {
-		return nil, fmt.Errorf("jtt: grow: no edge between %d and root %d", newRoot, t.root)
+		return fmt.Errorf("jtt: grow: no edge between %d and root %d", newRoot, t.root)
 	}
-	nt := t.clone()
-	nt.parent[t.root] = newRoot
-	nt.root = newRoot
-	return nt, nil
+	return nil
 }
 
 // Attach returns a new tree with child added as a leaf under parent. The
@@ -155,8 +235,15 @@ func (t *Tree) Attach(child, parent graph.NodeID) (*Tree, error) {
 	if t.Contains(child) {
 		return nil, fmt.Errorf("jtt: attach: child %d already in tree", child)
 	}
-	nt := t.clone()
-	nt.parent[child] = parent
+	nt := newTreeHeap(len(t.nodes) + 1)
+	pos := sort.Search(len(t.nodes), func(i int) bool { return t.nodes[i] >= child })
+	copy(nt.nodes, t.nodes[:pos])
+	copy(nt.par, t.par[:pos])
+	nt.nodes[pos] = child
+	nt.par[pos] = parent
+	copy(nt.nodes[pos+1:], t.nodes[pos:])
+	copy(nt.par[pos+1:], t.par[pos:])
+	nt.root = t.root
 	return nt, nil
 }
 
@@ -169,20 +256,72 @@ func (t *Tree) MustAttach(child, parent graph.NodeID) *Tree {
 	return nt
 }
 
+// checkMerge validates a merge without allocating and returns the merged
+// node count.
+func (t *Tree) checkMerge(other *Tree) (int, error) {
+	if t.root != other.root {
+		return 0, fmt.Errorf("jtt: merge: roots differ (%d vs %d)", t.root, other.root)
+	}
+	// Both node lists are sorted; walk them together. The root is the only
+	// node allowed in both.
+	n := 0
+	i, j := 0, 0
+	for i < len(t.nodes) && j < len(other.nodes) {
+		switch {
+		case t.nodes[i] < other.nodes[j]:
+			i++
+		case t.nodes[i] > other.nodes[j]:
+			j++
+		default:
+			if t.nodes[i] != t.root {
+				return 0, fmt.Errorf("jtt: merge: node %d present in both trees", t.nodes[i])
+			}
+			i++
+			j++
+		}
+		n++
+	}
+	return n + (len(t.nodes) - i) + (len(other.nodes) - j), nil
+}
+
+// mergeInto fills dst with the union of t and other; storage must already be
+// sized and the merge validated.
+func (t *Tree) mergeInto(dst *Tree, other *Tree) {
+	i, j, k := 0, 0, 0
+	for i < len(t.nodes) && j < len(other.nodes) {
+		switch {
+		case t.nodes[i] < other.nodes[j]:
+			dst.nodes[k], dst.par[k] = t.nodes[i], t.par[i]
+			i++
+		case t.nodes[i] > other.nodes[j]:
+			dst.nodes[k], dst.par[k] = other.nodes[j], other.par[j]
+			j++
+		default: // the shared root
+			dst.nodes[k], dst.par[k] = t.nodes[i], t.par[i]
+			i++
+			j++
+		}
+		k++
+	}
+	for ; i < len(t.nodes); i, k = i+1, k+1 {
+		dst.nodes[k], dst.par[k] = t.nodes[i], t.par[i]
+	}
+	for ; j < len(other.nodes); j, k = j+1, k+1 {
+		dst.nodes[k], dst.par[k] = other.nodes[j], other.par[j]
+	}
+	dst.root = t.root
+}
+
 // Merge returns the union of t and other — the tree-merging step of §IV-B.
 // Both trees must share the same root and must not overlap anywhere else
 // (the paper's "sanity check" against cycles).
 func (t *Tree) Merge(other *Tree) (*Tree, error) {
-	if t.root != other.root {
-		return nil, fmt.Errorf("jtt: merge: roots differ (%d vs %d)", t.root, other.root)
+	n, err := t.checkMerge(other)
+	if err != nil {
+		return nil, err
 	}
-	nt := t.clone()
-	for c, p := range other.parent {
-		if t.Contains(c) {
-			return nil, fmt.Errorf("jtt: merge: node %d present in both trees", c)
-		}
-		nt.parent[c] = p
-	}
+	nt := newTreeHeap(n)
+	t.mergeInto(nt, other)
 	return nt, nil
 }
 
@@ -192,52 +331,67 @@ func (t *Tree) Path(a, b graph.NodeID) []graph.NodeID {
 	if !t.Contains(a) || !t.Contains(b) {
 		panic(fmt.Sprintf("jtt: Path(%d, %d) with absent node", a, b))
 	}
-	// Ancestor chains to the root.
-	chainA := t.ancestors(a)
-	onA := make(map[graph.NodeID]int, len(chainA))
-	for i, v := range chainA {
-		onA[v] = i
-	}
-	// Walk b upward until hitting a's chain: that node is the LCA.
-	var up []graph.NodeID
-	cur := b
-	for {
-		if i, ok := onA[cur]; ok {
-			// a..LCA, then back down to b.
-			path := append([]graph.NodeID{}, chainA[:i+1]...)
-			for j := len(up) - 1; j >= 0; j-- {
-				path = append(path, up[j])
-			}
-			return path
-		}
-		up = append(up, cur)
-		p, ok := t.parent[cur]
-		if !ok {
-			panic("jtt: Path: disconnected tree state")
-		}
-		cur = p
-	}
+	return t.PathInto(nil, a, b)
 }
 
-// ancestors returns v, parent(v), …, root.
-func (t *Tree) ancestors(v graph.NodeID) []graph.NodeID {
-	out := []graph.NodeID{v}
-	for {
-		p, ok := t.parent[v]
-		if !ok {
-			return out
-		}
-		out = append(out, p)
-		v = p
+// PathInto appends the unique tree path from a to b (both endpoints
+// included) to dst and returns the extended slice. Both nodes must be
+// present; with a caller-provided buffer the walk does not allocate unless
+// the path outgrows it.
+func (t *Tree) PathInto(dst []graph.NodeID, a, b graph.NodeID) []graph.NodeID {
+	// Depth-aligned walk to the lowest common ancestor.
+	da, db := t.depthOf(a), t.depthOf(b)
+	x, y := a, b
+	for d := da; d > db; d-- {
+		x = t.parentOf(x)
 	}
+	for d := db; d > da; d-- {
+		y = t.parentOf(y)
+	}
+	for x != y {
+		x = t.parentOf(x)
+		y = t.parentOf(y)
+	}
+	lca := x
+	// a up to the LCA, in order.
+	for v := a; ; v = t.parentOf(v) {
+		dst = append(dst, v)
+		if v == lca {
+			break
+		}
+	}
+	// b's side is walked upward and emitted reversed; tree depth is bounded
+	// by ⌈D/2⌉, so the stack buffer covers every practical diameter.
+	var buf [16]graph.NodeID
+	up := buf[:0]
+	for v := b; v != lca; v = t.parentOf(v) {
+		up = append(up, v)
+	}
+	for j := len(up) - 1; j >= 0; j-- {
+		dst = append(dst, up[j])
+	}
+	return dst
+}
+
+// depthOf returns v's distance from the root; the caller guarantees v is
+// present.
+func (t *Tree) depthOf(v graph.NodeID) int {
+	d := 0
+	for v != t.root {
+		v = t.parentOf(v)
+		d++
+	}
+	return d
 }
 
 // Depth reports the maximum distance from the root to any node.
 func (t *Tree) Depth() int {
 	max := 0
-	for v := range t.parent {
-		d := len(t.ancestors(v)) - 1
-		if d > max {
+	for _, v := range t.nodes {
+		if v == t.root {
+			continue
+		}
+		if d := t.depthOf(v); d > max {
 			max = d
 		}
 	}
@@ -246,38 +400,33 @@ func (t *Tree) Depth() int {
 
 // Diameter reports the longest path length (in edges) between any two nodes.
 func (t *Tree) Diameter() int {
-	if t.Size() == 1 {
-		return 0
-	}
-	// Double-BFS on the tree adjacency.
-	adj := make(map[graph.NodeID][]graph.NodeID, t.Size())
-	for c, p := range t.parent {
-		adj[c] = append(adj[c], p)
-		adj[p] = append(adj[p], c)
-	}
-	far, _ := t.bfsFarthest(adj, t.root)
-	_, d := t.bfsFarthest(adj, far)
+	_, d := t.heightDiam(t.root)
 	return d
 }
 
-func (t *Tree) bfsFarthest(adj map[graph.NodeID][]graph.NodeID, start graph.NodeID) (graph.NodeID, int) {
-	dist := map[graph.NodeID]int{start: 0}
-	queue := []graph.NodeID{start}
-	far, fd := start, 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, n := range adj[v] {
-			if _, seen := dist[n]; !seen {
-				dist[n] = dist[v] + 1
-				if dist[n] > fd {
-					far, fd = n, dist[n]
-				}
-				queue = append(queue, n)
-			}
+// heightDiam returns the height of v's subtree and the diameter within it,
+// by combining each node's two tallest child subtrees.
+func (t *Tree) heightDiam(v graph.NodeID) (int, int) {
+	best1, best2 := -1, -1
+	diam := 0
+	for j, c := range t.nodes {
+		if c == t.root || t.par[j] != v {
+			continue
+		}
+		ch, cd := t.heightDiam(c)
+		if cd > diam {
+			diam = cd
+		}
+		if ch > best1 {
+			best1, best2 = ch, best1
+		} else if ch > best2 {
+			best2 = ch
 		}
 	}
-	return far, fd
+	if through := best1 + best2 + 2; through > diam {
+		diam = through
+	}
+	return best1 + 1, diam
 }
 
 // Reroot returns the same undirected tree rooted at newRoot. It panics if
@@ -291,14 +440,19 @@ func (t *Tree) Reroot(newRoot graph.NodeID) *Tree {
 	if newRoot == t.root {
 		return t
 	}
-	nt := t.clone()
+	nt := t.Clone()
 	// Reverse the parent pointers along the path from newRoot up to the
 	// old root.
-	chain := nt.ancestors(newRoot)
-	for i := 0; i+1 < len(chain); i++ {
-		nt.parent[chain[i+1]] = chain[i]
+	var buf [16]graph.NodeID
+	chain := append(buf[:0], newRoot)
+	for v := newRoot; v != t.root; {
+		v = t.parentOf(v)
+		chain = append(chain, v)
 	}
-	delete(nt.parent, newRoot)
+	for i := 0; i+1 < len(chain); i++ {
+		nt.par[nt.idx(chain[i+1])] = chain[i]
+	}
+	nt.par[nt.idx(newRoot)] = newRoot
 	nt.root = newRoot
 	return nt
 }
@@ -307,51 +461,71 @@ func (t *Tree) Reroot(newRoot graph.NodeID) *Tree {
 // and edge sets, independent of rooting. The branch-and-bound search
 // generates the same answer tree under several rootings and orderings; the
 // top-k list dedupes on this key.
-func (t *Tree) CanonicalKey() string {
-	var sb strings.Builder
-	nodes := t.Nodes()
-	for i, v := range nodes {
+func (t *Tree) CanonicalKey() string { return string(t.AppendCanonicalKey(nil)) }
+
+// AppendCanonicalKey appends the canonical key's bytes to dst and returns
+// the extended slice, letting hot paths build keys into reused buffers. The
+// format is CanonicalKey's exactly: sorted node IDs comma-joined, a '|'
+// separator, then sorted min-max edge pairs "a-b" comma-joined.
+func (t *Tree) AppendCanonicalKey(dst []byte) []byte {
+	for i, v := range t.nodes {
 		if i > 0 {
-			sb.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		fmt.Fprintf(&sb, "%d", v)
+		dst = strconv.AppendInt(dst, int64(v), 10)
 	}
-	sb.WriteByte('|')
+	dst = append(dst, '|')
+	// Normalize and sort the edge pairs in a stack buffer (insertion sort:
+	// the edge count is the node count minus one, small by construction).
 	type pair struct{ a, b graph.NodeID }
-	edges := make([]pair, 0, len(t.parent))
-	for c, p := range t.parent {
-		a, b := c, p
-		if a > b {
-			a, b = b, a
-		}
-		edges = append(edges, pair{a, b})
+	var ebuf [32]pair
+	edges := ebuf[:0]
+	if n := len(t.nodes) - 1; n > len(ebuf) {
+		edges = make([]pair, 0, n)
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].a != edges[j].a {
-			return edges[i].a < edges[j].a
+	for i, c := range t.nodes {
+		if c == t.root {
+			continue
 		}
-		return edges[i].b < edges[j].b
-	})
+		p := pair{c, t.par[i]}
+		if p.a > p.b {
+			p.a, p.b = p.b, p.a
+		}
+		j := len(edges)
+		edges = append(edges, p)
+		for j > 0 && (edges[j-1].a > p.a || (edges[j-1].a == p.a && edges[j-1].b > p.b)) {
+			edges[j] = edges[j-1]
+			j--
+		}
+		edges[j] = p
+	}
 	for i, e := range edges {
 		if i > 0 {
-			sb.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		fmt.Fprintf(&sb, "%d-%d", e.a, e.b)
+		dst = strconv.AppendInt(dst, int64(e.a), 10)
+		dst = append(dst, '-')
+		dst = strconv.AppendInt(dst, int64(e.b), 10)
 	}
-	return sb.String()
+	return dst
 }
 
 // IsReduced reports whether the tree is a valid query answer per
 // Definition 3: every leaf matches at least one query keyword, and the root
 // matches one too when it has exactly one child. isNonFree reports keyword
-// membership for a node.
+// membership for a node. It does not allocate.
 func (t *Tree) IsReduced(isNonFree func(graph.NodeID) bool) bool {
-	for _, leaf := range t.Leaves() {
-		if !isNonFree(leaf) {
+	rootChildren := 0
+	for i, v := range t.nodes {
+		if v != t.root && t.par[i] == t.root {
+			rootChildren++
+		}
+		isLeaf := !t.hasChild(i) && (v != t.root || len(t.nodes) == 1)
+		if isLeaf && !isNonFree(v) {
 			return false
 		}
 	}
-	if len(t.Children(t.root)) == 1 && !isNonFree(t.root) {
+	if rootChildren == 1 && !isNonFree(t.root) {
 		return false
 	}
 	return true
@@ -359,35 +533,81 @@ func (t *Tree) IsReduced(isNonFree func(graph.NodeID) bool) bool {
 
 // Reduce returns the minimal reduced tree containing all of the given
 // keeper nodes: free leaves (and free single-child roots) are pruned
-// repeatedly. Returns nil if any keeper is absent from the tree.
+// repeatedly.
 func (t *Tree) Reduce(keep func(graph.NodeID) bool) *Tree {
-	nt := t.clone()
+	n := len(t.nodes)
+	removed := make([]bool, n)
+	alive := n
+	root := t.root
+	// parent of v in the pruned tree; the current root has none.
+	parentAlive := func(i int) (int, bool) {
+		if t.nodes[i] == root {
+			return 0, false
+		}
+		return t.idx(t.par[i]), true
+	}
+	childCount := func(v graph.NodeID) (int, graph.NodeID) {
+		count := 0
+		var last graph.NodeID
+		for j := 0; j < n; j++ {
+			if removed[j] || t.nodes[j] == root {
+				continue
+			}
+			if pi, ok := parentAlive(j); ok && t.nodes[pi] == v {
+				count++
+				last = t.nodes[j]
+			}
+		}
+		return count, last
+	}
 	for {
 		changed := false
-		for _, leaf := range nt.Leaves() {
-			if nt.Size() == 1 {
-				break
+		for i := 0; i < n && alive > 1; i++ {
+			if removed[i] {
+				continue
 			}
-			if !keep(leaf) {
-				delete(nt.parent, leaf)
+			v := t.nodes[i]
+			if v == root {
+				continue
+			}
+			if c, _ := childCount(v); c > 0 {
+				continue
+			}
+			if !keep(v) {
+				removed[i] = true
+				alive--
 				changed = true
 			}
 		}
-		// A free root with a single child can be stripped, re-rooting at
-		// the child.
 		for {
-			ch := nt.Children(nt.root)
-			if len(ch) == 1 && !keep(nt.root) {
-				newRoot := ch[0]
-				delete(nt.parent, newRoot)
-				nt.root = newRoot
+			c, only := childCount(root)
+			if c == 1 && !keep(root) {
+				removed[t.idx(root)] = true
+				alive--
+				root = only
 				changed = true
 				continue
 			}
 			break
 		}
 		if !changed {
-			return nt
+			break
 		}
 	}
+	nt := newTreeHeap(alive)
+	k := 0
+	for i := 0; i < n; i++ {
+		if removed[i] {
+			continue
+		}
+		nt.nodes[k] = t.nodes[i]
+		if t.nodes[i] == root {
+			nt.par[k] = root
+		} else {
+			nt.par[k] = t.par[i]
+		}
+		k++
+	}
+	nt.root = root
+	return nt
 }

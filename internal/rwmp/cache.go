@@ -1,7 +1,7 @@
 package rwmp
 
 import (
-	"strings"
+	"sync"
 
 	"cirank/internal/cache"
 	"cirank/internal/graph"
@@ -56,17 +56,23 @@ func (c *ScoreCache) Stats() (hits, misses int64) { return c.lru.Stats() }
 // Len reports the number of memoised scores.
 func (c *ScoreCache) Len() int { return c.lru.Len() }
 
+// keyBufPool recycles the scratch buffers keys are assembled in, so one
+// ScoreTree call costs exactly one allocation (the key string itself, which
+// the LRU retains).
+var keyBufPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 256); return &b }}
+
 // key builds the memoisation key for (tree, query).
 func key(t *jtt.Tree, queryTerms []string) string {
-	var sb strings.Builder
-	k := t.CanonicalKey()
-	sb.Grow(len(k) + 16)
-	sb.WriteString(k)
+	bp := keyBufPool.Get().(*[]byte)
+	b := t.AppendCanonicalKey((*bp)[:0])
 	for _, term := range queryTerms {
-		sb.WriteByte('\x00')
-		sb.WriteString(term)
+		b = append(b, '\x00')
+		b = append(b, term...)
 	}
-	return sb.String()
+	s := string(b)
+	*bp = b
+	keyBufPool.Put(bp)
+	return s
 }
 
 // ScoreTree returns Model.ScoreTree(t, sources, queryTerms), from cache when

@@ -244,11 +244,23 @@ func (m *Model) Generation(v graph.NodeID, queryTerms []string) float64 {
 }
 
 // splitDenominator sums the directed weights from u to all of its tree
-// neighbours.
+// neighbours. One pass over the tree's edge view (each non-root node with
+// its parent) covers u's parent and children without materializing the
+// neighbour set.
 func (m *Model) splitDenominator(t *jtt.Tree, u graph.NodeID) float64 {
 	sum := 0.0
-	for _, n := range t.Neighbors(u) {
-		if w, ok := m.g.Weight(u, n); ok {
+	root := t.Root()
+	nodes, par := t.NodeView(), t.ParentView()
+	pu, hasPar := t.Parent(u)
+	// The node view is ascending, so visiting each neighbour at its own
+	// position sums the weights in ascending-neighbour order — the exact
+	// floating-point summation order the materialized-Neighbors code used,
+	// which the frozen-baseline equivalence demands.
+	for i, v := range nodes {
+		if (v == root || par[i] != u) && !(hasPar && v == pu) {
+			continue
+		}
+		if w, ok := m.g.Weight(u, v); ok {
 			sum += w
 		}
 	}
@@ -274,7 +286,11 @@ func (m *Model) PathFactor(t *jtt.Tree, src, dst graph.NodeID) float64 {
 	if src == dst {
 		return 1
 	}
-	path := t.Path(src, dst)
+	if !t.Contains(src) || !t.Contains(dst) {
+		panic(fmt.Sprintf("rwmp: PathFactor(%d, %d) with node absent from tree", src, dst))
+	}
+	var pathBuf [16]graph.NodeID
+	path := t.PathInto(pathBuf[:0], src, dst)
 	factor := 1.0
 	for i := 0; i+1 < len(path); i++ {
 		u, next := path[i], path[i+1]
@@ -336,7 +352,7 @@ func (m *Model) ScoreTree(t *jtt.Tree, sources []graph.NodeID, queryTerms []stri
 // order.
 func (m *Model) SourcesIn(t *jtt.Tree, queryTerms []string) []graph.NodeID {
 	var out []graph.NodeID
-	for _, v := range t.Nodes() {
+	for _, v := range t.NodeView() {
 		if m.ix.QueryMatchCount(v, queryTerms) > 0 {
 			out = append(out, v)
 		}

@@ -14,13 +14,16 @@ import (
 // evaluation products (cover, sources, bound, score) the engine computes for
 // it. Evaluation (fill) is pure and may run on any worker goroutine; the seq
 // field is assigned later, at commit time, on the coordinating goroutine.
+// Candidates are slab-allocated per query (see scratch.go) and invalid once
+// the query's scratch returns to the pool.
 type candidate struct {
-	tree    *jtt.Tree
-	key     string // canonical key + root tag, the dedup identity
-	cover   uint64
-	sources []graph.NodeID
-	ub      float64
-	seq     int // commit order, for deterministic queue tie-breaking
+	tree     *jtt.Tree
+	key      string // canonical key + root tag, the dedup identity
+	canonLen int    // length of the canonical-key prefix of key (before the root tag)
+	cover    uint64
+	sources  []graph.NodeID // slab-backed; capacity preallocated by the coordinator
+	ub       float64
+	seq      int // commit order, for deterministic queue tie-breaking
 
 	// score and complete are set when the tree is a valid complete answer.
 	score    float64
@@ -43,6 +46,7 @@ func (q *candidateQueue) Pop() interface{} {
 	old := *q
 	n := len(old)
 	c := old[n-1]
+	old[n-1] = nil // release the slab pointer for scratch reuse
 	*q = old[:n-1]
 	return c
 }
@@ -56,18 +60,44 @@ const expandBatch = 32
 // bbState carries the state of one branch-and-bound run. The maps, queue,
 // top-k and stats are touched only by the coordinating goroutine; workers
 // see the state read-only through fill (see parallel.go for the contract).
+// All reusable storage lives in the query scratch the state points into.
 type bbState struct {
 	s      *Searcher
 	qc     *queryContext
+	sc     *queryScratch
 	opts   Options
 	done   <-chan struct{} // the context's Done channel; nil = uncancellable
 	nw     int             // resolved worker count
-	pq     candidateQueue
+	pq     *candidateQueue
 	seen   map[string]bool // canonical keys of generated candidates
 	byRoot map[graph.NodeID][]*candidate
 	top    *topK
+	ws     []boundScratch // per-worker bound-evaluation scratch
+	chunk  []*candidate   // the fill chunk currently fanned out
+	fillFn func(w, i int) // hoisted fill closure, one per query
 	stats  Stats
 	seq    int
+}
+
+// newBBState wires a branch-and-bound state over a prepared scratch. The
+// queue, dedup map, merge registry and top-k all live in the scratch; the
+// state only points at them.
+func newBBState(s *Searcher, sc *queryScratch, opts Options, nw int) *bbState {
+	sc.top.k = opts.K
+	st := &bbState{
+		s:      s,
+		qc:     &sc.qc,
+		sc:     sc,
+		opts:   opts,
+		nw:     nw,
+		pq:     &sc.pq,
+		seen:   sc.seen,
+		byRoot: sc.byRoot,
+		top:    &sc.top,
+		ws:     sc.boundScratches(nw),
+	}
+	st.fillFn = func(w, i int) { st.fill(st.chunk[i], &st.ws[w]) }
+	return st
 }
 
 // interrupted polls the context. The first positive poll latches
@@ -97,7 +127,8 @@ func (st *bbState) interrupted() bool {
 // found before the cap", and because batching changes which candidates are
 // in flight when the cap fires, truncated runs may differ across worker
 // counts. TopK is safe for concurrent use: searches share only immutable
-// state (and the optional score cache, which is itself concurrency-safe).
+// state (and the optional score cache, which is itself concurrency-safe)
+// plus the scratch pool, which hands each query its own scratch.
 //
 // TopK is uncancellable; use TopKContext to bound a query by a deadline.
 func (s *Searcher) TopK(terms []string, opts Options) ([]Answer, Stats, error) {
@@ -121,7 +152,9 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 	if err := s.checkScores(opts); err != nil {
 		return nil, Stats{}, err
 	}
-	qc, ok, err := s.prepare(terms)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	qc, ok, err := s.prepareInto(sc, terms)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -130,48 +163,42 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 	}
 	nw := opts.workers()
 	if !opts.NoDynamicBounds {
-		qc.computeTermDistances(s.m.Graph(), opts.Diameter, nw)
+		qc.computeTermDistances(s.m.Graph(), opts.Diameter, nw, sc)
 	}
 	qc.maxDamp = s.m.MaxDamp()
-	st := &bbState{
-		s:      s,
-		qc:     qc,
-		opts:   opts,
-		done:   ctx.Done(),
-		nw:     nw,
-		seen:   make(map[string]bool),
-		byRoot: make(map[graph.NodeID][]*candidate),
-		top:    newTopK(opts.K),
+	st := newBBState(s, sc, opts, nw)
+	st.done = ctx.Done()
+	seeds := sc.grown[:0]
+	for _, v := range qc.nonFree {
+		seeds = append(seeds, sc.arena.NewSingle(v))
 	}
-	seeds := make([]*jtt.Tree, len(qc.nonFree))
-	for i, v := range qc.nonFree {
-		seeds[i] = jtt.NewSingle(v)
-	}
+	sc.grown = seeds
 	st.process(seeds)
 	halfD := halfDiameter(opts.Diameter)
 	for st.pq.Len() > 0 && !st.interrupted() {
 		// Pop a batch of frontier candidates. Lemma 1: once the best
 		// remaining upper bound cannot beat the current k-th answer,
 		// nothing better can emerge and the search is done.
-		var batch []*candidate
+		batch := sc.batch[:0]
 		for len(batch) < expandBatch && st.pq.Len() > 0 {
-			if st.top.full() && st.pq[0].ub < st.top.min() {
+			if st.top.full() && (*st.pq)[0].ub < st.top.min() {
 				break
 			}
 			if st.opts.MaxExpansions > 0 && st.stats.Expanded >= st.opts.MaxExpansions {
 				st.stats.Truncated = true
 				break
 			}
-			batch = append(batch, heap.Pop(&st.pq).(*candidate))
+			batch = append(batch, heap.Pop(st.pq).(*candidate))
 			st.stats.Expanded++
 		}
+		sc.batch = batch
 		if len(batch) == 0 {
 			break
 		}
 		// Grow every batch candidate through its root, in deterministic
 		// (batch, edge) order. Growing is cheap; evaluating the grown trees
 		// is the expensive part, which process fans out.
-		var grown []*jtt.Tree
+		grown := sc.grown[:0]
 		for _, c := range batch {
 			root := c.tree.Root()
 			for _, e := range s.m.Graph().OutEdges(root) {
@@ -179,7 +206,7 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 				if c.tree.Contains(nb) {
 					continue
 				}
-				g, err := c.tree.Grow(s.m.Graph(), nb)
+				g, err := sc.arena.Grow(c.tree, s.m.Graph(), nb)
 				if err != nil {
 					continue
 				}
@@ -189,9 +216,12 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 				grown = append(grown, g)
 			}
 		}
+		sc.grown = grown
 		st.process(grown)
 	}
-	return st.top.results(), st.stats, nil
+	// Detach before the deferred putScratch invalidates the arena the
+	// answer trees live in.
+	return st.top.resultsDetached(), st.stats, nil
 }
 
 // process drives newly built trees through the evaluate/commit pipeline
@@ -216,9 +246,18 @@ const fillChunk = 256
 // within a level, and each commit within a level — a single expansion can
 // cascade through many merge levels, and a single level through many
 // thousands of fills and merge attempts.
+//
+// The merged trees of each level collect into the scratch's two ping-pong
+// buffers: one is read as the current level while the other fills with the
+// next, so the whole cascade reuses two allocations. The caller's input
+// buffer is only read, never written.
 func (st *bbState) process(trees []*jtt.Tree) {
+	sc := st.sc
+	outA, outB := sc.procA, sc.procB
+	useA := true
+	defer func() { sc.procA, sc.procB = outA, outB }()
 	for len(trees) > 0 && !st.interrupted() {
-		var level []*candidate
+		level := sc.level[:0]
 		for _, tree := range trees {
 			// The Generated cap backstops the merge closure: MaxExpansions
 			// alone bounds queue pops, but a single expansion can cascade
@@ -227,28 +266,64 @@ func (st *bbState) process(trees []*jtt.Tree) {
 				st.stats.Truncated = true
 				break
 			}
-			key := tree.CanonicalKey() + rootTag(tree)
-			if st.seen[key] {
+			// Build the dedup key (canonical key + root tag) in the reused
+			// buffer; the seen lookup on the []byte is allocation-free, and
+			// the key string materializes only for candidates that survive
+			// dedup (it must outlive the buffer: the maps and the top-k
+			// retain it).
+			kb := tree.AppendCanonicalKey(sc.keyBuf[:0])
+			canonLen := len(kb)
+			kb = append(kb, '@')
+			kb = strconv.AppendInt(kb, int64(tree.Root()), 10)
+			sc.keyBuf = kb
+			if st.seen[string(kb)] {
 				continue
 			}
+			key := string(kb)
 			st.seen[key] = true
 			st.stats.Generated++
-			level = append(level, &candidate{tree: tree, key: key})
+			c := sc.cands.get()
+			c.tree = tree
+			c.key = key
+			c.canonLen = canonLen
+			// The source buffer is sized here, on the coordinator, and
+			// filled on a worker: a tree can never hold more non-free nodes
+			// than nodes, so fill's appends stay within capacity.
+			c.sources = sc.ids.alloc(tree.Size())
+			level = append(level, c)
 		}
+		sc.level = level
 		for start := 0; start < len(level); start += fillChunk {
 			if st.interrupted() {
 				return
 			}
-			chunk := level[start:min(start+fillChunk, len(level))]
-			parallelFor(len(chunk), st.nw, func(i int) { st.fill(chunk[i]) })
+			st.chunk = level[start:min(start+fillChunk, len(level))]
+			parallelForWorkers(len(st.chunk), st.nw, st.fillFn)
 		}
-		trees = trees[:0:0]
+		var out []*jtt.Tree
+		if useA {
+			out = outA[:0]
+		} else {
+			out = outB[:0]
+		}
+		stop := false
 		for _, c := range level {
 			if st.interrupted() {
-				return
+				stop = true
+				break
 			}
-			trees = append(trees, st.commit(c)...)
+			out = st.commit(c, out)
 		}
+		if useA {
+			outA = out
+		} else {
+			outB = out
+		}
+		if stop {
+			return
+		}
+		useA = !useA
+		trees = out
 	}
 }
 
@@ -256,35 +331,36 @@ func (st *bbState) process(trees []*jtt.Tree) {
 // source set, the RWMP score when the tree is a valid complete answer, and
 // the §IV-B upper bound. fill only reads state that is immutable during the
 // search (model, query context, options, path index) plus the
-// concurrency-safe caches, so any number of fills may run concurrently.
-func (st *bbState) fill(c *candidate) {
+// concurrency-safe caches, and writes only the candidate and the calling
+// worker's own bound scratch, so any number of fills may run concurrently.
+func (st *bbState) fill(c *candidate, bs *boundScratch) {
 	c.cover = st.qc.cover(c.tree)
-	c.sources = st.qc.sourcesIn(c.tree)
+	c.sources = st.qc.sourcesInto(c.sources, c.tree)
 	if c.cover == st.qc.full && st.qc.validAnswer(c.tree, st.opts.Diameter) {
 		c.complete = true
 		c.score = st.s.score(st.opts, c.tree, c.sources, st.qc.terms)
 	}
-	c.ub = st.upperBound(c)
+	c.ub = st.upperBound(c, bs)
 }
 
 // commit folds one evaluated candidate into the search state: records its
 // answer (if complete), enqueues it for expansion unless pruned, and
 // attempts tree merges (Algorithm 1 lines 16–20) against every same-root
-// candidate committed before it, returning the merged trees for the caller
-// to process. Because every candidate merges against all its predecessors,
-// each unordered pair is attempted exactly once and the merge set is
-// transitively closed — a root with any number of child subtrees is
+// candidate committed before it, appending the merged trees to out for the
+// caller to process. Because every candidate merges against all its
+// predecessors, each unordered pair is attempted exactly once and the merge
+// set is transitively closed — a root with any number of child subtrees is
 // reachable, which Theorem 1's optimality needs.
-func (st *bbState) commit(c *candidate) []*jtt.Tree {
+func (st *bbState) commit(c *candidate, out []*jtt.Tree) []*jtt.Tree {
 	if c.complete {
-		if st.top.add(c.tree, c.score) {
+		if st.top.addKeyed(c.tree, c.key[:c.canonLen], c.score) {
 			st.stats.Answers++
 		}
 	}
 	// A zero bound means the candidate can never become a valid answer
 	// (some keyword has no feasible supplement).
 	if c.ub <= 0 {
-		return nil
+		return out
 	}
 	// Commit-time pruning: if the candidate's bound cannot beat the current
 	// k-th answer it can never contribute (the k-th score only rises), so
@@ -292,23 +368,26 @@ func (st *bbState) commit(c *candidate) []*jtt.Tree {
 	// over it. This is what keeps the merge closure from exploding
 	// quadratically around hub roots.
 	if st.top.full() && c.ub < st.top.min() {
-		return nil
+		return out
 	}
 	c.seq = st.seq
 	st.seq++
-	heap.Push(&st.pq, c)
+	heap.Push(st.pq, c)
 	root := c.tree.Root()
 	// Snapshot: trees merged from c will themselves merge against everything
 	// committed at their own commit time, including c, so iterating the
 	// pre-existing set suffices for closure.
 	others := st.byRoot[root]
-	st.byRoot[root] = append(st.byRoot[root], c)
-	var out []*jtt.Tree
+	lst := others
+	if lst == nil {
+		lst = st.sc.grabRootList()
+	}
+	st.byRoot[root] = append(lst, c)
 	for _, other := range others {
 		if !st.mergeAllowed(c, other) {
 			continue
 		}
-		merged, err := c.tree.Merge(other.tree)
+		merged, err := st.sc.arena.Merge(c.tree, other.tree)
 		if err != nil {
 			continue // overlap: the sanity check of §IV-B
 		}
@@ -330,10 +409,4 @@ func (st *bbState) mergeAllowed(a, b *candidate) bool {
 	}
 	union := a.cover | b.cover
 	return union != a.cover && union != b.cover
-}
-
-// rootTag distinguishes identical trees rooted differently: both rootings
-// must be explored because grow and merge operate on the root.
-func rootTag(t *jtt.Tree) string {
-	return "@" + strconv.Itoa(int(t.Root()))
 }

@@ -37,8 +37,9 @@ const supplyScanCap = 256
 
 // upperBound computes ub(C) = max(ce, pe). A return of 0 means the
 // candidate can never become a valid answer (some keyword has no feasible
-// supplement) and must be pruned.
-func (st *bbState) upperBound(c *candidate) float64 {
+// supplement) and must be pruned. bs is the calling worker's own scratch;
+// the two float buffers below live in it instead of on the heap.
+func (st *bbState) upperBound(c *candidate, bs *boundScratch) float64 {
 	m := st.s.m
 	qc := st.qc
 	root := c.tree.Root()
@@ -46,7 +47,7 @@ func (st *bbState) upperBound(c *candidate) float64 {
 
 	// Best possible delivery, at the root, from a supplement covering each
 	// missing term.
-	var supplies []float64
+	supplies := bs.supplies[:0]
 	for ti := range qc.terms {
 		if missing&(uint64(1)<<ti) == 0 {
 			continue
@@ -57,8 +58,12 @@ func (st *bbState) upperBound(c *candidate) float64 {
 		}
 		supplies = append(supplies, best)
 	}
+	bs.supplies = supplies
 
-	flowAtRoot := make([]float64, len(c.sources))
+	if cap(bs.flowAtRoot) < len(c.sources) {
+		bs.flowAtRoot = make([]float64, len(c.sources))
+	}
+	flowAtRoot := bs.flowAtRoot[:len(c.sources)]
 	for i, src := range c.sources {
 		flowAtRoot[i] = m.Delivered(c.tree, src, root, qc.terms)
 	}
@@ -242,30 +247,16 @@ func (st *bbState) neighborRefinedSupply(ti int, c *candidate, nodes []graph.Nod
 			nbrDamp = d
 		}
 	}
-	// Retention bound for a supplement d hops away: no intermediate for an
-	// adjacent one, otherwise the entry neighbour plus d−2 further
-	// intermediates, each at most maxDamp.
-	retention := func(d int) float64 {
-		if d <= 1 {
-			return 1
-		}
-		r := nbrDamp
-		for i := 2; i < d; i++ {
-			r *= st.qc.maxDamp
-		}
-		return r
-	}
 	budget := st.opts.Diameter - c.tree.Depth()
 	best := 0.0
 	// Heavy hitters with exact distances (absent when dynamic bounds are
-	// disabled).
+	// disabled — the pooled context then carries an empty topSup, so guard
+	// by length, not nilness).
 	var topSup []supplierInfo
-	if st.qc.topSup != nil {
+	if ti < len(st.qc.topSup) {
 		topSup = st.qc.topSup[ti]
 	}
-	inTop := make(map[graph.NodeID]bool, len(topSup))
 	for _, sup := range topSup {
-		inTop[sup.node] = true
 		if c.tree.Contains(sup.node) {
 			continue
 		}
@@ -273,17 +264,17 @@ func (st *bbState) neighborRefinedSupply(ti int, c *candidate, nodes []graph.Nod
 		if d < 0 || d > budget {
 			continue // unreachable within the diameter budget
 		}
-		if cand := sup.gen * retention(d); cand > best {
+		if cand := sup.gen * retention(nbrDamp, st.qc.maxDamp, d); cand > best {
 			best = cand
 		}
 	}
 	// Tail: the best generation outside the heavy hitters, discounted by
 	// the nearest-matcher distance (a lower bound for every supplement).
 	for _, v := range nodes {
-		if c.tree.Contains(v) || inTop[v] {
+		if c.tree.Contains(v) || supListed(topSup, v) {
 			continue
 		}
-		if cand := st.qc.gen[v] * retention(dmin); cand > best {
+		if cand := st.qc.gen[v] * retention(nbrDamp, st.qc.maxDamp, dmin); cand > best {
 			best = cand
 		}
 		break // byGen is sorted descending
@@ -305,6 +296,32 @@ func (st *bbState) neighborRefinedSupply(ti int, c *candidate, nodes []graph.Nod
 		}
 	}
 	return best
+}
+
+// retention bounds what a supplement d hops away retains: no intermediate
+// for an adjacent one, otherwise the entry neighbour (nbrDamp) plus d−2
+// further intermediates, each at most maxDamp. A plain function rather than
+// a closure — it runs once per heavy hitter on the hottest bound path.
+func retention(nbrDamp, maxDamp float64, d int) float64 {
+	if d <= 1 {
+		return 1
+	}
+	r := nbrDamp
+	for i := 2; i < d; i++ {
+		r *= maxDamp
+	}
+	return r
+}
+
+// supListed reports whether v is one of the heavy hitters; the list holds at
+// most topSuppliersPerTerm entries, so the scan beats a map.
+func supListed(topSup []supplierInfo, v graph.NodeID) bool {
+	for i := range topSup {
+		if topSup[i].node == v {
+			return true
+		}
+	}
+	return false
 }
 
 // tailGen returns the highest generation strictly after node v in the

@@ -1,7 +1,6 @@
 package search
 
 import (
-	"cirank/internal/graph"
 	"cirank/internal/jtt"
 )
 
@@ -31,7 +30,11 @@ func (s *Searcher) NewBoundOracle(terms []string, opts Options) (*BoundOracle, b
 	if err := s.checkScores(opts); err != nil {
 		return nil, false, err
 	}
-	qc, ok, err := s.prepare(terms)
+	// The oracle owns an unpooled scratch for its lifetime: Evaluate reuses
+	// the same bound buffers the search's fill would, so the computed bounds
+	// are byte-identical, but nothing returns to the searcher's pool.
+	sc := newQueryScratch()
+	qc, ok, err := s.prepareInto(sc, terms)
 	if err != nil {
 		return nil, false, err
 	}
@@ -40,19 +43,10 @@ func (s *Searcher) NewBoundOracle(terms []string, opts Options) (*BoundOracle, b
 	}
 	nw := opts.workers()
 	if !opts.NoDynamicBounds {
-		qc.computeTermDistances(s.m.Graph(), opts.Diameter, nw)
+		qc.computeTermDistances(s.m.Graph(), opts.Diameter, nw, sc)
 	}
 	qc.maxDamp = s.m.MaxDamp()
-	st := &bbState{
-		s:      s,
-		qc:     qc,
-		opts:   opts,
-		nw:     nw,
-		seen:   make(map[string]bool),
-		byRoot: make(map[graph.NodeID][]*candidate),
-		top:    newTopK(opts.K),
-	}
-	return &BoundOracle{st: st}, true, nil
+	return &BoundOracle{st: newBBState(s, sc, opts, nw)}, true, nil
 }
 
 // Evaluate runs the search's candidate evaluation (fill) on tree and returns
@@ -62,7 +56,7 @@ func (s *Searcher) NewBoundOracle(terms []string, opts Options) (*BoundOracle, b
 // does.
 func (o *BoundOracle) Evaluate(tree *jtt.Tree) (ub, score float64, complete bool) {
 	c := &candidate{tree: tree}
-	o.st.fill(c)
+	o.st.fill(c, &o.st.ws[0])
 	return c.ub, c.score, c.complete
 }
 

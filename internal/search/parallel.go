@@ -62,6 +62,38 @@ func parallelFor(n, workers int, f func(i int)) {
 	wg.Wait()
 }
 
+// parallelForWorkers is parallelFor for callers that keep per-worker scratch:
+// f additionally receives a worker index w in [0, workers) that is unique
+// among concurrently running calls, so f may freely mutate the w-th scratch.
+// The inline path uses w = 0.
+func parallelForWorkers(n, workers int, f func(w, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // score evaluates Eq. 4 for a candidate answer, through the query's score
 // cache when one is configured.
 func (s *Searcher) score(opts Options, t *jtt.Tree, sources []graph.NodeID, terms []string) float64 {

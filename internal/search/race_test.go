@@ -1,0 +1,7 @@
+//go:build race
+
+package search
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation allocates and would break the AllocsPerRun ceilings.
+const raceEnabled = true

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"cirank/internal/graph"
 	"cirank/internal/jtt"
@@ -121,9 +122,11 @@ type Stats struct {
 func (s Stats) Partial() bool { return s.Truncated || s.Interrupted }
 
 // Searcher runs queries against one RWMP model. It is safe for concurrent
-// use: searches share only immutable state.
+// use: searches share only immutable state plus a scratch pool, and
+// concurrent queries draw distinct scratches from it.
 type Searcher struct {
-	m *rwmp.Model
+	m       *rwmp.Model
+	scratch sync.Pool // of *queryScratch
 }
 
 // New returns a Searcher over the model.
@@ -164,6 +167,10 @@ type queryContext struct {
 	// the loose global maximum — the decisive pruning for low-ambiguity
 	// queries when no prebuilt index is available.
 	topSup [][]supplierInfo
+	// isNonFreeFn is the bound method value of isNonFree, captured once per
+	// query so the per-candidate IsReduced calls don't allocate a closure
+	// each.
+	isNonFreeFn func(graph.NodeID) bool
 }
 
 // supplierInfo is one high-generation keyword node with its BFS distances.
@@ -178,43 +185,56 @@ const topSuppliersPerTerm = 4
 
 // computeTermDistances fills termDist (multi-source BFS per term) and
 // topSup (exact per-node BFS from each term's heaviest generators), both
-// bounded by horizon maxDepth. The per-term computations are independent,
-// so they fan out across workers goroutines.
-func (qc *queryContext) computeTermDistances(g *graph.Graph, maxDepth, workers int) {
-	qc.termDist = make([][]int32, len(qc.terms))
-	qc.topSup = make([][]supplierInfo, len(qc.terms))
-	parallelFor(len(qc.terms), workers, func(ti int) {
-		qc.termDist[ti] = bfsDistances(g, qc.perTerm[ti], maxDepth)
+// bounded by horizon maxDepth. The per-term computations are independent
+// and each term owns its scratch entry, so they fan out across workers
+// goroutines with no coordination.
+func (qc *queryContext) computeTermDistances(g *graph.Graph, maxDepth, workers int, sc *queryScratch) {
+	n := len(qc.terms)
+	qc.termDist = make([][]int32, n)
+	// Re-extend topSup without overwriting retained entries: their backing
+	// arrays carry the supplier buffers reused across queries.
+	for cap(qc.topSup) < n {
+		qc.topSup = append(qc.topSup[:cap(qc.topSup)], nil)
+	}
+	qc.topSup = qc.topSup[:n]
+	terms := sc.termScratches(n)
+	parallelFor(n, workers, func(ti int) {
+		ts := &terms[ti]
+		qc.termDist[ti] = bfsDistancesInto(ts, 0, g, qc.perTerm[ti], maxDepth)
 		top := qc.byGen[ti]
 		if len(top) > topSuppliersPerTerm {
 			top = top[:topSuppliersPerTerm]
 		}
-		for _, v := range top {
-			qc.topSup[ti] = append(qc.topSup[ti], supplierInfo{
+		sup := qc.topSup[ti][:0]
+		for j, v := range top {
+			var one [1]graph.NodeID
+			one[0] = v
+			sup = append(sup, supplierInfo{
 				node: v,
 				gen:  qc.gen[v],
-				dist: bfsDistances(g, []graph.NodeID{v}, maxDepth),
+				dist: bfsDistancesInto(ts, j+1, g, one[:], maxDepth),
 			})
 		}
+		qc.topSup[ti] = sup
 	})
 }
 
-// bfsDistances runs a depth-bounded multi-source BFS and returns per-node
-// hop distances (-1 beyond the horizon).
-func bfsDistances(g *graph.Graph, sources []graph.NodeID, maxDepth int) []int32 {
-	dist := make([]int32, g.NumNodes())
-	for i := range dist {
-		dist[i] = -1
-	}
-	frontier := make([]graph.NodeID, 0, len(sources))
+// bfsDistancesInto runs a depth-bounded multi-source BFS into the scratch's
+// j-th distance buffer and returns per-node hop distances (-1 beyond the
+// horizon). The frontier buffers are reused across calls on the same
+// scratch.
+func bfsDistancesInto(ts *termScratch, j int, g *graph.Graph, sources []graph.NodeID, maxDepth int) []int32 {
+	dist := ts.distInto(j, g.NumNodes())
+	frontier := ts.frontier[:0]
 	for _, v := range sources {
 		if dist[v] < 0 {
 			dist[v] = 0
 			frontier = append(frontier, v)
 		}
 	}
+	next := ts.next[:0]
 	for depth := int32(0); depth < int32(maxDepth) && len(frontier) > 0; depth++ {
-		var next []graph.NodeID
+		next = next[:0]
 		for _, u := range frontier {
 			for _, e := range g.OutEdges(u) {
 				if dist[e.To] < 0 {
@@ -223,8 +243,9 @@ func bfsDistances(g *graph.Graph, sources []graph.NodeID, maxDepth int) []int32 
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	ts.frontier, ts.next = frontier[:0], next[:0]
 	return dist
 }
 
@@ -241,35 +262,50 @@ func (qc *queryContext) distToTerm(ti int, v graph.NodeID, maxDepth int) int {
 	return int(d)
 }
 
-// prepare normalizes the query and resolves its non-free node sets. It
-// returns an error for empty or oversized queries and ok=false when some
-// term has no matches (AND semantics ⇒ no answers).
+// prepare normalizes the query and resolves its non-free node sets into a
+// freshly allocated context — the entry point of the unpooled paths (naive,
+// exhaustive, oracle). It returns an error for empty or oversized queries
+// and ok=false when some term has no matches (AND semantics ⇒ no answers).
 func (s *Searcher) prepare(rawTerms []string) (*queryContext, bool, error) {
-	var terms []string
-	seen := map[string]bool{}
+	return s.prepareInto(newQueryScratch(), rawTerms)
+}
+
+// prepareInto is prepare writing into the scratch's pooled query context:
+// term lists, masks, generation counts and the sorted node sets all reuse
+// the scratch's buffers, so a steady-state prepare allocates only sort
+// bookkeeping.
+func (s *Searcher) prepareInto(sc *queryScratch, rawTerms []string) (*queryContext, bool, error) {
+	qc := &sc.qc
+	qc.terms = qc.terms[:0]
 	for _, t := range rawTerms {
 		t = strings.ToLower(strings.TrimSpace(t))
-		if t == "" || seen[t] {
+		if t == "" {
 			continue
 		}
-		seen[t] = true
-		terms = append(terms, t)
+		dup := false
+		for _, prev := range qc.terms {
+			if prev == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			qc.terms = append(qc.terms, t)
+		}
 	}
-	if len(terms) == 0 {
+	if len(qc.terms) == 0 {
 		return nil, false, ErrEmptyQuery
 	}
-	if len(terms) > maxQueryTerms {
-		return nil, false, fmt.Errorf("%w: query has %d terms, limit %d", ErrBadOptions, len(terms), maxQueryTerms)
+	if len(qc.terms) > maxQueryTerms {
+		return nil, false, fmt.Errorf("%w: query has %d terms, limit %d", ErrBadOptions, len(qc.terms), maxQueryTerms)
 	}
-	qc := &queryContext{
-		terms: terms,
-		full:  (uint64(1) << len(terms)) - 1,
-		masks: make(map[graph.NodeID]uint64),
-		gen:   make(map[graph.NodeID]float64),
-	}
+	qc.full = (uint64(1) << len(qc.terms)) - 1
+	qc.isNonFreeFn = qc.isNonFree
 	ix := s.m.Index()
-	for i, term := range terms {
-		nodes := ix.MatchingNodes(term)
+	qc.perTerm = qc.perTerm[:0]
+	for i, term := range qc.terms {
+		nodes := ix.AppendMatchingNodes(nodeBuf(&sc.matchBufs, i), term)
+		sc.matchBufs[i] = nodes
 		if len(nodes) == 0 {
 			return qc, false, nil
 		}
@@ -280,16 +316,16 @@ func (s *Searcher) prepare(rawTerms []string) (*queryContext, bool, error) {
 	}
 	for v := range qc.masks {
 		qc.nonFree = append(qc.nonFree, v)
-		g := s.m.Generation(v, terms)
+		g := s.m.Generation(v, qc.terms)
 		qc.gen[v] = g
 		if g > qc.maxGen {
 			qc.maxGen = g
 		}
 	}
 	sort.Slice(qc.nonFree, func(i, j int) bool { return qc.nonFree[i] < qc.nonFree[j] })
-	qc.byGen = make([][]graph.NodeID, len(terms))
-	for i := range terms {
-		nodes := append([]graph.NodeID(nil), qc.perTerm[i]...)
+	qc.byGen = qc.byGen[:0]
+	for i := range qc.terms {
+		nodes := append(nodeBuf(&sc.genBufs, i), qc.perTerm[i]...)
 		sort.Slice(nodes, func(a, b int) bool {
 			ga, gb := qc.gen[nodes[a]], qc.gen[nodes[b]]
 			if ga != gb {
@@ -297,7 +333,8 @@ func (s *Searcher) prepare(rawTerms []string) (*queryContext, bool, error) {
 			}
 			return nodes[a] < nodes[b]
 		})
-		qc.byGen[i] = nodes
+		sc.genBufs[i] = nodes
+		qc.byGen = append(qc.byGen, nodes)
 	}
 	return qc, true, nil
 }
@@ -307,19 +344,24 @@ func (qc *queryContext) isNonFree(v graph.NodeID) bool { return qc.masks[v] != 0
 
 // sourcesIn lists the non-free nodes of t, ascending.
 func (qc *queryContext) sourcesIn(t *jtt.Tree) []graph.NodeID {
-	var out []graph.NodeID
-	for _, v := range t.Nodes() {
+	return qc.sourcesInto(nil, t)
+}
+
+// sourcesInto appends the non-free nodes of t to dst, ascending, and returns
+// the extended slice. The hot path passes slab-backed buffers here.
+func (qc *queryContext) sourcesInto(dst []graph.NodeID, t *jtt.Tree) []graph.NodeID {
+	for _, v := range t.NodeView() {
 		if qc.masks[v] != 0 {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
 // cover returns the union of term masks over t's nodes.
 func (qc *queryContext) cover(t *jtt.Tree) uint64 {
 	var c uint64
-	for _, v := range t.Nodes() {
+	for _, v := range t.NodeView() {
 		c |= qc.masks[v]
 	}
 	return c
@@ -328,7 +370,7 @@ func (qc *queryContext) cover(t *jtt.Tree) uint64 {
 // validAnswer reports whether t is a valid complete answer: covers all
 // terms, is reduced (Def. 3) and respects the diameter limit.
 func (qc *queryContext) validAnswer(t *jtt.Tree, diameter int) bool {
-	return qc.cover(t) == qc.full && t.IsReduced(qc.isNonFree) && t.Diameter() <= diameter
+	return qc.cover(t) == qc.full && t.IsReduced(qc.isNonFreeFn) && t.Diameter() <= diameter
 }
 
 // halfDiameter is the growth depth limit ⌈D/2⌉: every tree of diameter ≤ D
@@ -365,7 +407,13 @@ func (t *topK) beats(score float64, key string, i int) bool {
 // the current k-th answer while the list is full. It reports whether the
 // list changed.
 func (t *topK) add(tree *jtt.Tree, score float64) bool {
-	key := tree.CanonicalKey()
+	return t.addKeyed(tree, tree.CanonicalKey(), score)
+}
+
+// addKeyed is add for callers that already hold the tree's canonical key —
+// the branch-and-bound loop builds it once per candidate in a reused buffer
+// and must not pay for a second string.
+func (t *topK) addKeyed(tree *jtt.Tree, key string, score float64) bool {
 	if t.keys[key] {
 		return false
 	}
@@ -405,3 +453,17 @@ func (t *topK) min() float64 {
 
 // results returns the answers, best first.
 func (t *topK) results() []Answer { return t.items }
+
+// resultsDetached returns a fresh copy of the answers, best first, with every
+// tree cloned off its arena. The pooled search path must hand out results
+// that survive the scratch's return to the pool.
+func (t *topK) resultsDetached() []Answer {
+	if len(t.items) == 0 {
+		return nil
+	}
+	out := make([]Answer, len(t.items))
+	for i, a := range t.items {
+		out[i] = Answer{Tree: a.Tree.Clone(), Score: a.Score}
+	}
+	return out
+}

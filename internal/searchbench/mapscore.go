@@ -1,0 +1,96 @@
+package searchbench
+
+import (
+	"math"
+
+	"cirank/internal/graph"
+	"cirank/internal/rwmp"
+)
+
+// This file freezes the Eq. 2–4 evaluation path as it ran before the rewrite:
+// every Delivered call materializes the tree path, every split denominator
+// materializes the neighbour slice. The numeric semantics are identical to
+// rwmp.Model's (both read the same model accessors: Generation, Damp, the
+// graph's directed weights), which is what lets the equivalence test demand
+// byte-identical rankings from the frozen baseline.
+
+// splitDenominator sums the directed weights from u to all of its tree
+// neighbours, materializing the neighbour slice per call as the pre-rewrite
+// code did.
+func splitDenominator(m *rwmp.Model, t *mapTree, u graph.NodeID) float64 {
+	sum := 0.0
+	for _, n := range t.neighbors(u) {
+		if w, ok := m.Graph().Weight(u, n); ok {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// pathFactor returns the multiplicative attenuation from src to dst along
+// the materialized tree path: split fractions at every hop, dampening at
+// every intermediate node.
+func pathFactor(m *rwmp.Model, t *mapTree, src, dst graph.NodeID) float64 {
+	if src == dst {
+		return 1
+	}
+	path := t.path(src, dst)
+	factor := 1.0
+	for i := 0; i+1 < len(path); i++ {
+		u, next := path[i], path[i+1]
+		w, ok := m.Graph().Weight(u, next)
+		if !ok {
+			return 0
+		}
+		denom := splitDenominator(m, t, u)
+		if denom <= 0 {
+			return 0
+		}
+		factor *= w / denom
+		if i > 0 {
+			factor *= m.Damp(u)
+		}
+	}
+	return factor
+}
+
+// delivered returns f_{src→dst} including src's generation count.
+func delivered(m *rwmp.Model, t *mapTree, src, dst graph.NodeID, terms []string) float64 {
+	count := m.Generation(src, terms)
+	if count == 0 || src == dst {
+		return count
+	}
+	return count * pathFactor(m, t, src, dst)
+}
+
+// nodeScore evaluates Eq. 3 for source v: the minimum delivered count over
+// the other sources, or v's own generation when it is the only source.
+func nodeScore(m *rwmp.Model, t *mapTree, v graph.NodeID, sources []graph.NodeID, terms []string) float64 {
+	minFlow := math.Inf(1)
+	others := 0
+	for _, s := range sources {
+		if s == v {
+			continue
+		}
+		others++
+		if f := delivered(m, t, s, v, terms); f < minFlow {
+			minFlow = f
+		}
+	}
+	if others == 0 {
+		return m.Generation(v, terms)
+	}
+	return minFlow
+}
+
+// scoreTree evaluates Eq. 4: the mean node score over the sources.
+func scoreTree(m *rwmp.Model, t *mapTree, sources []graph.NodeID, terms []string) float64 {
+	if len(sources) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range sources {
+		sum += nodeScore(m, t, v, sources, terms)
+	}
+	return sum / float64(len(sources))
+}

@@ -1,0 +1,258 @@
+package searchbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cirank/internal/graph"
+)
+
+// This file freezes the map-backed joined-tuple-tree representation the
+// online search used before the allocation-lean rewrite (PR 6): a root plus a
+// child→parent map, cloned wholesale on every Grow and Merge, with every
+// derived view (Nodes, Neighbors, Path, CanonicalKey) materialized fresh per
+// call. It is the allocation profile the naive-alloc baseline exists to
+// measure — one map allocation per candidate tree, one sorted slice per
+// Nodes() call, one string build per canonical key — and must not be
+// "improved": its point is to stay exactly as expensive as the pre-rewrite
+// code was.
+
+// mapTree is the frozen map-backed tree. Trees are immutable; mutating
+// operations return new trees, copying the parent map.
+type mapTree struct {
+	root   graph.NodeID
+	parent map[graph.NodeID]graph.NodeID
+}
+
+// newSingle returns the single-node tree {v}.
+func newSingle(v graph.NodeID) *mapTree {
+	return &mapTree{root: v, parent: map[graph.NodeID]graph.NodeID{}}
+}
+
+func (t *mapTree) size() int { return len(t.parent) + 1 }
+
+func (t *mapTree) contains(v graph.NodeID) bool {
+	if v == t.root {
+		return true
+	}
+	_, ok := t.parent[v]
+	return ok
+}
+
+// nodes returns the tree's nodes in ascending order, freshly allocated and
+// sorted per call — the pre-rewrite cost model.
+func (t *mapTree) nodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, t.size())
+	out = append(out, t.root)
+	for v := range t.parent {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *mapTree) children(v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for c, p := range t.parent {
+		if p == v {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// neighbors returns v's tree neighbours (parent and children), ascending.
+func (t *mapTree) neighbors(v graph.NodeID) []graph.NodeID {
+	out := t.children(v)
+	if p, ok := t.parent[v]; ok {
+		out = append(out, p)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+func (t *mapTree) leaves() []graph.NodeID {
+	hasChild := make(map[graph.NodeID]bool, len(t.parent))
+	for _, p := range t.parent {
+		hasChild[p] = true
+	}
+	var out []graph.NodeID
+	for _, v := range t.nodes() {
+		if !hasChild[v] && (v != t.root || t.size() == 1) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (t *mapTree) clone() *mapTree {
+	p := make(map[graph.NodeID]graph.NodeID, len(t.parent)+1)
+	for k, v := range t.parent {
+		p[k] = v
+	}
+	return &mapTree{root: t.root, parent: p}
+}
+
+// grow returns a new tree rooted at newRoot whose single child subtree is t.
+func (t *mapTree) grow(g *graph.Graph, newRoot graph.NodeID) (*mapTree, error) {
+	if t.contains(newRoot) {
+		return nil, fmt.Errorf("searchbench: grow: node %d already in tree", newRoot)
+	}
+	if !g.HasEdge(newRoot, t.root) && !g.HasEdge(t.root, newRoot) {
+		return nil, fmt.Errorf("searchbench: grow: no edge between %d and root %d", newRoot, t.root)
+	}
+	nt := t.clone()
+	nt.parent[t.root] = newRoot
+	nt.root = newRoot
+	return nt, nil
+}
+
+// merge returns the union of t and other; both must share a root and must
+// not overlap elsewhere.
+func (t *mapTree) merge(other *mapTree) (*mapTree, error) {
+	if t.root != other.root {
+		return nil, fmt.Errorf("searchbench: merge: roots differ (%d vs %d)", t.root, other.root)
+	}
+	nt := t.clone()
+	for c, p := range other.parent {
+		if t.contains(c) {
+			return nil, fmt.Errorf("searchbench: merge: node %d present in both trees", c)
+		}
+		nt.parent[c] = p
+	}
+	return nt, nil
+}
+
+// path returns the unique tree path from a to b, inclusive.
+func (t *mapTree) path(a, b graph.NodeID) []graph.NodeID {
+	chainA := t.ancestors(a)
+	onA := make(map[graph.NodeID]int, len(chainA))
+	for i, v := range chainA {
+		onA[v] = i
+	}
+	var up []graph.NodeID
+	cur := b
+	for {
+		if i, ok := onA[cur]; ok {
+			path := append([]graph.NodeID{}, chainA[:i+1]...)
+			for j := len(up) - 1; j >= 0; j-- {
+				path = append(path, up[j])
+			}
+			return path
+		}
+		up = append(up, cur)
+		p, ok := t.parent[cur]
+		if !ok {
+			panic("searchbench: path: disconnected tree state")
+		}
+		cur = p
+	}
+}
+
+func (t *mapTree) ancestors(v graph.NodeID) []graph.NodeID {
+	out := []graph.NodeID{v}
+	for {
+		p, ok := t.parent[v]
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+		v = p
+	}
+}
+
+func (t *mapTree) depth() int {
+	max := 0
+	for v := range t.parent {
+		d := len(t.ancestors(v)) - 1
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func (t *mapTree) diameter() int {
+	if t.size() == 1 {
+		return 0
+	}
+	adj := make(map[graph.NodeID][]graph.NodeID, t.size())
+	for c, p := range t.parent {
+		adj[c] = append(adj[c], p)
+		adj[p] = append(adj[p], c)
+	}
+	far, _ := t.bfsFarthest(adj, t.root)
+	_, d := t.bfsFarthest(adj, far)
+	return d
+}
+
+func (t *mapTree) bfsFarthest(adj map[graph.NodeID][]graph.NodeID, start graph.NodeID) (graph.NodeID, int) {
+	dist := map[graph.NodeID]int{start: 0}
+	queue := []graph.NodeID{start}
+	far, fd := start, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[v] {
+			if _, seen := dist[n]; !seen {
+				dist[n] = dist[v] + 1
+				if dist[n] > fd {
+					far, fd = n, dist[n]
+				}
+				queue = append(queue, n)
+			}
+		}
+	}
+	return far, fd
+}
+
+// canonicalKey renders the tree's undirected node and edge sets exactly as
+// jtt.Tree.CanonicalKey does, via the pre-rewrite per-call string build.
+func (t *mapTree) canonicalKey() string {
+	var sb strings.Builder
+	nodes := t.nodes()
+	for i, v := range nodes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteByte('|')
+	type pair struct{ a, b graph.NodeID }
+	edges := make([]pair, 0, len(t.parent))
+	for c, p := range t.parent {
+		a, b := c, p
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, pair{a, b})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for i, e := range edges {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d-%d", e.a, e.b)
+	}
+	return sb.String()
+}
+
+// isReduced reports whether the tree is a valid answer per Definition 3.
+func (t *mapTree) isReduced(isNonFree func(graph.NodeID) bool) bool {
+	for _, leaf := range t.leaves() {
+		if !isNonFree(leaf) {
+			return false
+		}
+	}
+	if len(t.children(t.root)) == 1 && !isNonFree(t.root) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+package searchbench
+
+import (
+	"fmt"
+	"testing"
+
+	"cirank/internal/datagen"
+	"cirank/internal/graph"
+	"cirank/internal/pathindex"
+	"cirank/internal/rwmp"
+	"cirank/internal/search"
+	"cirank/internal/textindex"
+)
+
+// buildModel assembles a model over an explicit graph, the same way the
+// search package's fixtures do.
+func buildModel(t testing.TB, texts []string, imp []float64, edges [][2]int) *rwmp.Model {
+	t.Helper()
+	b := graph.NewBuilder(len(texts))
+	for _, s := range texts {
+		b.AddNode(graph.Node{Relation: "R", Text: s, Words: textindex.WordCount(s)})
+	}
+	for _, e := range edges {
+		b.AddBiEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), 1, 1)
+	}
+	g := b.Build()
+	sum := 0.0
+	for _, p := range imp {
+		sum += p
+	}
+	norm := make([]float64, len(imp))
+	for i, p := range imp {
+		norm[i] = p / sum
+	}
+	ix := textindex.Build(g)
+	m, err := rwmp.New(g, ix, norm, rwmp.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fig2Model is the paper's Fig. 2 example, matching the search package's
+// fig2Fixture.
+func fig2Model(t testing.TB) *rwmp.Model {
+	return buildModel(t,
+		[]string{
+			"papakonstantinou",
+			"ullman",
+			"tsimmis project",
+			"capability based tsimmis",
+		},
+		[]float64{1, 1, 38, 7},
+		[][2]int{{0, 2}, {1, 2}, {0, 3}, {1, 3}},
+	)
+}
+
+// assertFrozenMatchesLive runs both engines and demands byte-identical
+// rankings: same canonical keys, same exact float64 scores, same order.
+func assertFrozenMatchesLive(t *testing.T, label string, m *rwmp.Model, terms []string, opts search.Options) {
+	t.Helper()
+	live, _, err := search.New(m).TopK(terms, opts)
+	if err != nil {
+		t.Fatalf("%s: live: %v", label, err)
+	}
+	frozen, err := NaiveAllocTopK(m, terms, opts)
+	if err != nil {
+		t.Fatalf("%s: frozen: %v", label, err)
+	}
+	if len(frozen) != len(live) {
+		t.Fatalf("%s: frozen returned %d answers, live %d", label, len(frozen), len(live))
+	}
+	for i := range live {
+		if key := live[i].Tree.CanonicalKey(); frozen[i].Key != key {
+			t.Errorf("%s: rank %d key %s, live %s", label, i, frozen[i].Key, key)
+		}
+		if frozen[i].Score != live[i].Score {
+			t.Errorf("%s: rank %d score %v, live exactly %v", label, i, frozen[i].Score, live[i].Score)
+		}
+	}
+}
+
+// TestNaiveAllocMatchesLiveEngine certifies the frozen baseline end to end:
+// on the Fig. 2 fixture and across generated datasets, queries, diameters and
+// index configurations, the frozen pre-rewrite engine and the live engine
+// must return byte-identical rankings. This is what makes the naive-alloc
+// benchmark cells a fair baseline — same answers, different allocators.
+func TestNaiveAllocMatchesLiveEngine(t *testing.T) {
+	m := fig2Model(t)
+	assertFrozenMatchesLive(t, "fig2", m, []string{"papakonstantinou", "ullman"},
+		search.Options{K: 5, Diameter: 4})
+	assertFrozenMatchesLive(t, "fig2-single", m, []string{"tsimmis"},
+		search.Options{K: 5, Diameter: 4})
+	assertFrozenMatchesLive(t, "fig2-extended", m, []string{"papakonstantinou", "ullman"},
+		search.Options{K: 5, Diameter: 4, ExtendedMerge: true})
+
+	for _, tc := range []struct {
+		kind              string
+		dataSeed, qrySeed int64
+	}{{"imdb", 1, 11}, {"dblp", 2, 13}} {
+		kind := tc.kind
+		ds, err := generateDataset(kind, 0.12, tc.dataSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := datagen.Build(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, err := rwmp.New(built.G, built.Ix, built.Importance, rwmp.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries, err := built.GenerateWorkload(datagen.SyntheticConfig(12, tc.qrySeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		damp := make([]float64, built.G.NumNodes())
+		for i := range damp {
+			damp[i] = dm.Damp(graph.NodeID(i))
+		}
+		idx, err := pathindex.BuildNaive(built.G, damp, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			label := fmt.Sprintf("%s/q%d", kind, qi)
+			assertFrozenMatchesLive(t, label, dm, q.Terms,
+				search.Options{K: 5, Diameter: 4})
+			assertFrozenMatchesLive(t, label+"/indexed", dm, q.Terms,
+				search.Options{K: 3, Diameter: 4, Index: idx})
+			if qi == 0 {
+				assertFrozenMatchesLive(t, label+"/nodyn", dm, q.Terms,
+					search.Options{K: 5, Diameter: 4, NoDynamicBounds: true})
+			}
+		}
+	}
+}
+
+// generateDataset builds one synthetic dataset by kind.
+func generateDataset(kind string, scale float64, seed int64) (*datagen.Dataset, error) {
+	switch kind {
+	case "imdb":
+		return datagen.GenerateIMDB(datagen.DefaultIMDBConfig(seed).Scale(scale))
+	case "dblp":
+		return datagen.GenerateDBLP(datagen.DefaultDBLPConfig(seed).Scale(scale))
+	}
+	return nil, fmt.Errorf("searchbench: unknown dataset kind %q", kind)
+}

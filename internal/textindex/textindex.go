@@ -219,12 +219,23 @@ func (ix *Index) Postings(term string) []Posting {
 // MatchingNodes returns the IDs of all nodes containing term — the non-free
 // node set E_n(k) of Definition 2.
 func (ix *Index) MatchingNodes(term string) []graph.NodeID {
+	return ix.AppendMatchingNodes(nil, term)
+}
+
+// AppendMatchingNodes appends the IDs of all nodes containing term to dst and
+// returns the extended slice. It is MatchingNodes for callers that reuse a
+// buffer across queries (the search hot path's query preparation).
+func (ix *Index) AppendMatchingNodes(dst []graph.NodeID, term string) []graph.NodeID {
 	ps := ix.Postings(term)
-	out := make([]graph.NodeID, len(ps))
-	for i, p := range ps {
-		out[i] = p.Node
+	if cap(dst)-len(dst) < len(ps) {
+		grown := make([]graph.NodeID, len(dst), len(dst)+len(ps))
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	for _, p := range ps {
+		dst = append(dst, p.Node)
+	}
+	return dst
 }
 
 // TF reports the number of occurrences of term in node id's text.
@@ -286,29 +297,38 @@ func (ix *Index) NodeLen(id graph.NodeID) int { return ix.nodeLen[id] }
 // Duplicate query terms are counted once.
 func (ix *Index) QueryMatchCount(id graph.NodeID, queryTerms []string) int {
 	total := 0
-	seen := make(map[string]bool, len(queryTerms))
-	for _, t := range queryTerms {
+	for i, t := range queryTerms {
 		t = strings.ToLower(t)
-		if seen[t] {
+		if termSeenBefore(queryTerms, i, t) {
 			continue
 		}
-		seen[t] = true
 		total += ix.TF(id, t)
 	}
 	return total
+}
+
+// termSeenBefore reports whether term t already occurred (case-insensitively)
+// among queryTerms[:i]. Queries hold a handful of terms, so the quadratic
+// scan beats a per-call map — Generation sits on the search hot path and
+// must not allocate.
+func termSeenBefore(queryTerms []string, i int, t string) bool {
+	for _, prev := range queryTerms[:i] {
+		if strings.EqualFold(prev, t) {
+			return true
+		}
+	}
+	return false
 }
 
 // MatchedTerms returns the subset of queryTerms present in node id's text,
 // deduplicated and in query order.
 func (ix *Index) MatchedTerms(id graph.NodeID, queryTerms []string) []string {
 	var out []string
-	seen := make(map[string]bool, len(queryTerms))
-	for _, t := range queryTerms {
+	for i, t := range queryTerms {
 		lt := strings.ToLower(t)
-		if seen[lt] {
+		if termSeenBefore(queryTerms, i, lt) {
 			continue
 		}
-		seen[lt] = true
 		if ix.TF(id, lt) > 0 {
 			out = append(out, lt)
 		}
