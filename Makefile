@@ -8,7 +8,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FUZZMINIMIZE ?= 5x
 
-.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-search bench-smoke check serve
+.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-search bench-serve bench-smoke check serve loadgen
 
 all: check
 
@@ -30,7 +30,7 @@ vet:
 # lint enforces the documentation contract: every exported identifier in
 # the listed packages must carry a doc comment.
 lint:
-	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/textindex internal/graph internal/buildbench internal/searchbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest internal/mmapio
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/servebench internal/textindex internal/graph internal/buildbench internal/searchbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest internal/mmapio
 
 # diff runs the differential correctness harness: every committed seed
 # generates a random workload and cross-checks branch-and-bound against
@@ -56,9 +56,16 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 
 # serve runs the HTTP query service on a generated DBLP dataset.
-# Try: curl 'localhost:8080/search?q=some+keywords&k=5&timeout=2s'
+# Try: curl 'localhost:8080/v1/search?q=some+keywords&k=5&timeout=2s'
 serve:
 	$(GO) run ./cmd/cirank-server -dataset dblp -addr :8080
+
+# loadgen replays the skewed query stream against a live server in the
+# three tracked arms (caches off / warmed / hot reloads mid-load) and
+# prints the serve report without touching the tracked JSON. Use
+# `make bench-serve` to refresh BENCH_serve.json.
+loadgen:
+	$(GO) run ./cmd/cirank-loadgen -out -
 
 # bench runs the paper-figure benchmarks plus the parallel/caching grid.
 bench:
@@ -76,6 +83,14 @@ bench-json:
 	$(GO) run ./cmd/cirank-bench -out BENCH_build.json
 	$(GO) run ./cmd/cirank-bench -mode load -out BENCH_load.json
 	$(GO) run ./cmd/cirank-bench -mode search -out BENCH_search.json
+	$(GO) run ./cmd/cirank-bench -mode serve -out BENCH_serve.json
+
+# bench-serve refreshes only the serving-stack trajectory: the three
+# tracked arms (result cache and coalescing off, full stack warmed, hot
+# reloads landing mid-load) through a live HTTP server. The serve-reload
+# row's stale and failed columns must be zero in any committed report.
+bench-serve:
+	$(GO) run ./cmd/cirank-bench -mode serve -out BENCH_serve.json
 
 # bench-search is the ad-hoc view of the online hot path: the BenchmarkSearch
 # grid (scale x workers x k over the skewed stream, plus the frozen
@@ -94,8 +109,10 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkBuild$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench '^BenchmarkSearch$$' -benchtime 1x .
 	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch' ./internal/pathindex ./internal/textindex ./internal/graph .
+	$(GO) run ./cmd/cirank-loadgen -duration 1s -clients 4 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -compare BENCH_build.json -scales 0.25 -workers 1,2 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode load -compare BENCH_load.json -scales 0.25 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode search -compare BENCH_search.json -scales 0.12 -benchtime 1x -out /dev/null
+	-$(GO) run ./cmd/cirank-bench -mode serve -compare BENCH_serve.json -benchtime 1s -workers 4 -out /dev/null
 
 check: build vet lint race

@@ -251,6 +251,16 @@ func (e *Engine) CacheStats() CacheStats {
 	return cs
 }
 
+// TermSelectivity reports how many graph nodes' text contains term (the
+// term's total posting-list length, case-insensitively). It is the
+// selectivity signal the serving layer's cost-based admission uses: the sum
+// over a query's terms bounds the candidate-root set branch-and-bound must
+// consider, so it is a cheap, index-only proxy for the work a query will do
+// before any of that work happens. Unknown terms report 0.
+func (e *Engine) TermSelectivity(term string) int {
+	return e.ix.DFTotal(term)
+}
+
 // SearchStats reports the work one query did, for observability and the
 // serving layer's per-query diagnostics.
 type SearchStats struct {

@@ -11,6 +11,7 @@
 //	cirank-bench -compare BENCH_build.json -scales 0.25 -out -
 //	cirank-bench -mode load -out BENCH_load.json
 //	cirank-bench -mode search -out BENCH_search.json
+//	cirank-bench -mode serve -out BENCH_serve.json
 //
 // -mode load measures engine startup instead of the build grid: for each
 // scale it times the cold public-API build, a stream snapshot load
@@ -27,6 +28,17 @@
 // -benchtime sets the measured budget per cell ("4x" = four stream passes,
 // or a duration); -seed is the dataset seed and -queryseed the workload
 // seed, both defaulting to the dataset's proven pair.
+//
+// -mode serve measures the HTTP serving stack (internal/server) instead of
+// the engine: internal/servebench replays the same skewed stream through a
+// live server in three tracked arms — serving-caches off, the full stack
+// warmed, and the full stack with snapshot hot reloads landing mid-load —
+// and writes BENCH_serve.json under servebench's schema. In this mode
+// -workers is the closed-loop client count (first entry only), -ks the
+// answer count (first entry only), and -benchtime the measured window per
+// arm, a duration. cmd/cirank-loadgen is the standalone front end with the
+// full arm vocabulary (open-loop rates, custom arms); this mode exists so
+// the familiar -compare plumbing covers serve cells too.
 //
 // With -compare the freshly measured grid is diffed against the committed
 // baseline cell by cell (matched on stage, scale and workers) and the exit
@@ -51,9 +63,11 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"cirank/internal/buildbench"
 	"cirank/internal/searchbench"
+	"cirank/internal/servebench"
 )
 
 // reportSchema and loadSchema name the two report document formats (build
@@ -137,22 +151,41 @@ func main() {
 		schema = loadSchema
 	case "search":
 		schema = searchSchema
+	case "serve":
+		schema = servebench.Schema
 	default:
-		fail(fmt.Errorf("bad -mode %q: want build, load or search", *mode))
+		fail(fmt.Errorf("bad -mode %q: want build, load, search or serve", *mode))
 	}
 
-	// The search grid has its own proven defaults: smaller scales (online
-	// search visits a bounded neighbourhood, so the axis is posting density,
-	// not graph size), fewer workers, and the dataset's seed pair known to
-	// yield a full AOL-style workload. Explicit flags always win.
-	if *mode == "search" {
+	// The search and serve grids have their own proven defaults: smaller
+	// scales (online search visits a bounded neighbourhood, so the axis is
+	// posting density, not graph size), fewer workers, and the dataset's
+	// seed pair known to yield a full AOL-style workload. Serve mode
+	// reinterprets -workers as the closed-loop client count, -benchtime as
+	// the measured window per arm, and takes one k. Explicit flags always
+	// win.
+	if *mode == "search" || *mode == "serve" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		if !set["scales"] {
 			*scales = "0.12,0.25,0.5"
+			if *mode == "serve" {
+				*scales = "0.25"
+			}
 		}
 		if !set["workers"] {
 			*workers = "1,2,4"
+			if *mode == "serve" {
+				*workers = "8"
+			}
+		}
+		if *mode == "serve" {
+			if !set["ks"] {
+				*ks = "10"
+			}
+			if !set["benchtime"] {
+				*benchtime = "2s"
+			}
 		}
 		defData, defQuery := searchbench.DefaultSeeds(*dataset)
 		if !set["seed"] {
@@ -185,6 +218,18 @@ func main() {
 	kList, err := parseInts(*ks)
 	if err != nil {
 		fail(fmt.Errorf("bad -ks: %w", err))
+	}
+
+	if *mode == "serve" {
+		dur, err := time.ParseDuration(*benchtime)
+		if err != nil || dur <= 0 {
+			fail(fmt.Errorf("bad -benchtime %q: serve mode wants a positive duration (e.g. 2s)", *benchtime))
+		}
+		if err := runServeMode(*out, baseline, *compare != "", *tolerance,
+			*dataset, scaleList, *seed, *querySeed, workerList[0], kList[0], dur); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	rep := report{

@@ -1,0 +1,133 @@
+// Command cirank-loadgen drives the HTTP serving stack (internal/server)
+// with the same Zipf-skewed AOL-style query stream the engine benchmarks
+// replay, and reports what the serving layer — singleflight coalescing, the
+// generation-keyed result cache, cost-based admission — adds on top of raw
+// engine throughput. It is the measurement harness behind the tracked
+// BENCH_serve.json trajectory; internal/servebench does the work, this
+// command is the flag front end.
+//
+// Usage:
+//
+//	cirank-loadgen -out BENCH_serve.json
+//	cirank-loadgen -clients 16 -duration 5s -out -
+//	cirank-loadgen -arms custom -qps 500 -warm -reload-every 1s -out -
+//
+// The default run measures the three tracked arms against one generated
+// fixture (dataset → public build → snapshot → fresh server per arm):
+//
+//	serve-nocache  result cache and coalescing off; every request evaluates.
+//	serve-cached   full serving stack, cache warmed by one unmeasured
+//	               stream pass — the steady state of a long-running server.
+//	serve-reload   full stack with snapshot hot reloads landing during the
+//	               measured window; its stale and failed columns must be
+//	               zero (the serving stack's correctness-under-churn
+//	               guarantee, also enforced under -race by the servebench
+//	               and server package tests).
+//
+// -arms custom instead runs a single arm shaped by the remaining flags:
+// -cache-off/-coalesce-off toggle the serving caches, -warm pre-runs the
+// stream, -qps switches from closed-loop (each of -clients keeps one
+// request in flight) to open-loop (requests start at the target rate no
+// matter how slowly they answer, so queueing shows up as latency), and
+// -reload-every hot-reloads the snapshot at that period.
+//
+// The report format is documented in the internal/servebench package
+// comment; cirank-bench -mode serve emits the same document and its
+// -compare flag diffs runs cell by cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cirank/internal/searchbench"
+	"cirank/internal/servebench"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_serve.json", "output path ('-' for stdout)")
+		dataset   = flag.String("dataset", "dblp", "dataset to generate: imdb or dblp")
+		scale     = flag.Float64("scale", 0.25, "dataset scale multiplier")
+		seed      = flag.Int64("seed", -1, "generation seed (-1 picks the dataset's proven pair)")
+		querySeed = flag.Int64("queryseed", -1, "workload seed (-1 picks the dataset's proven pair)")
+		k         = flag.Int("k", 10, "answer count per query")
+		clients   = flag.Int("clients", 8, "closed-loop client count (also sizes the transport in open loop)")
+		duration  = flag.Duration("duration", 2*time.Second, "measured window per arm")
+		arms      = flag.String("arms", "tracked", "tracked (the three BENCH_serve.json arms) or custom (one arm from the flags below)")
+
+		stage       = flag.String("stage", "serve-custom", "custom arm: stage name in the report")
+		cacheOff    = flag.Bool("cache-off", false, "custom arm: disable the result cache")
+		coalesceOff = flag.Bool("coalesce-off", false, "custom arm: disable singleflight coalescing")
+		warm        = flag.Bool("warm", false, "custom arm: replay the stream once, unmeasured, before the window")
+		qps         = flag.Float64("qps", 0, "custom arm: open-loop target arrival rate (0 = closed loop)")
+		reloadEvery = flag.Duration("reload-every", 0, "custom arm: hot-reload the snapshot at this period (0 = never)")
+		timeout     = flag.Duration("timeout", 0, "custom arm: per-query timeout parameter sent to the server (0 = server default)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+
+	defData, defQuery := searchbench.DefaultSeeds(*dataset)
+	if *seed < 0 {
+		*seed = defData
+	}
+	if *querySeed < 0 {
+		*querySeed = defQuery
+	}
+
+	var armList []servebench.Arm
+	switch *arms {
+	case "tracked":
+		armList = servebench.TrackedArms(*clients, *duration)
+	case "custom":
+		armList = []servebench.Arm{{
+			Stage:       *stage,
+			CacheOff:    *cacheOff,
+			CoalesceOff: *coalesceOff,
+			Warm:        *warm,
+			Clients:     *clients,
+			TargetQPS:   *qps,
+			Duration:    *duration,
+			ReloadEvery: *reloadEvery,
+			Timeout:     *timeout,
+		}}
+	default:
+		fail(fmt.Errorf("bad -arms %q: want tracked or custom", *arms))
+	}
+
+	dir, err := os.MkdirTemp("", "cirank-loadgen-")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+
+	progress := func(line string) { fmt.Fprintf(os.Stderr, "cirank-loadgen: %s\n", line) }
+	f, err := servebench.NewFixture(dir, *dataset, *scale, *seed, *querySeed, *k)
+	if err != nil {
+		fail(err)
+	}
+	progress(fmt.Sprintf("%s scale %g: %d nodes, %d edges, %d distinct queries, stream of %d",
+		*dataset, *scale, f.Nodes, f.Edges, len(f.Queries), len(f.Stream)))
+
+	cells, err := f.RunArms(armList, *k, progress)
+	if err != nil {
+		fail(err)
+	}
+	rep := servebench.NewReport(*dataset, *seed, *querySeed)
+	rep.Results = cells
+	if err := rep.Write(*out); err != nil {
+		fail(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "cirank-loadgen: wrote %s (%d results)\n", *out, len(rep.Results))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "cirank-loadgen: %v\n", err)
+	os.Exit(1)
+}

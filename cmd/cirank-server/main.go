@@ -6,16 +6,23 @@
 // Usage:
 //
 //	cirank-server -dataset dblp -scale 1 -addr :8080
-//	curl 'localhost:8080/search?q=some+keywords&k=5&timeout=2s'
-//	curl localhost:8080/healthz
-//	curl localhost:8080/metrics
+//	curl 'localhost:8080/v1/search?q=some+keywords&k=5&timeout=2s'
+//	curl -X POST localhost:8080/v1/search -d '{"queries": [{"q": "ullman"}, {"q": "some keywords", "k": 3}]}'
+//	curl localhost:8080/v1/healthz
+//	curl localhost:8080/v1/metrics
+//
+// The versioned /v1 API (docs/api.md) is the contract; the original
+// unversioned paths still answer, marked with a Deprecation header. The
+// serving stack — singleflight coalescing, the generation-keyed result
+// cache, cost-based admission — is tunable with -coalesce, -result-cache,
+// -admission-budget and -max-batch.
 //
 // Snapshot workflow — build once offline, serve with instant startup, and
 // hot-reload in place after writing a fresh snapshot to the same path:
 //
 //	cirank-server -dataset dblp -scale 4 -save-snapshot eng.snap
 //	cirank-server -snapshot eng.snap -addr :8080
-//	curl -X POST localhost:8080/admin/reload
+//	curl -X POST localhost:8080/v1/admin/reload
 package main
 
 import (
@@ -49,6 +56,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine worker goroutines per query (0 = GOMAXPROCS)")
 		snapshot = flag.String("snapshot", "", "serve from this snapshot file (mmap-opened; enables POST /admin/reload) instead of generating a dataset")
 		saveSnap = flag.String("save-snapshot", "", "build the dataset engine, write a snapshot to this file, and exit")
+
+		resultCache = flag.Int("result-cache", 0, "result-cache entries per generation (0 = default 1024, -1 = off)")
+		coalesce    = flag.Bool("coalesce", true, "coalesce identical in-flight queries (singleflight)")
+		admission   = flag.Int64("admission-budget", 0, "cost-based admission budget in posting-entry units (0 = derived from GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 0, "max queries per POST /v1/search batch (0 = default 16)")
 	)
 	flag.Parse()
 
@@ -81,14 +93,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cirank-server: build: %v\n", eng.BuildStats())
 
 	srv, err := server.New(server.Config{
-		Engine:         eng,
-		DefaultK:       *k,
-		MaxK:           *maxK,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTime,
-		MaxInFlight:    *inflight,
-		MaxExpansions:  *maxExp,
-		SnapshotPath:   *snapshot,
+		Engine:          eng,
+		DefaultK:        *k,
+		MaxK:            *maxK,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTime,
+		MaxInFlight:     *inflight,
+		MaxExpansions:   *maxExp,
+		SnapshotPath:    *snapshot,
+		ResultCacheSize: *resultCache,
+		CoalesceEnabled: server.Bool(*coalesce),
+		AdmissionBudget: *admission,
+		MaxBatch:        *maxBatch,
 	})
 	if err != nil {
 		fail(err)

@@ -128,6 +128,15 @@ func (w *Workload) Terms(i int) []string {
 	return w.Queries[w.Stream[i%len(w.Stream)]]
 }
 
+// StreamPlan returns the standard workload sizing of the tracked
+// benchmarks — the number of distinct queries to generate and the skewed
+// replay order over them — deterministic in seed. internal/servebench uses
+// it to drive the serving benchmarks with exactly the stream the engine
+// benchmarks measure, without building a second scoring model.
+func StreamPlan(seed int64) (queries int, stream []int) {
+	return workloadQueries, zipfStream(workloadQueries, streamLength, seed)
+}
+
 // zipfStream samples length query indices from [0, n) under a Zipf
 // distribution with exponent zipfS, deterministically in seed.
 func zipfStream(n, length int, seed int64) []int {

@@ -1,0 +1,172 @@
+// Package servebench is the load harness behind cmd/cirank-loadgen and
+// cirank-bench -mode serve: it drives the HTTP serving stack
+// (internal/server) with the same Zipf-skewed AOL-style query stream the
+// engine benchmarks replay (internal/searchbench), and measures what the
+// serving layer — singleflight coalescing, the generation-keyed result
+// cache, cost-based admission — adds on top of raw engine throughput.
+//
+// A Fixture is built once per dataset × scale: the dataset is generated,
+// replayed through the public builder (the same path cmd/cirank-server
+// takes), snapshotted, and every benchmark arm re-opens the snapshot
+// zero-copy so arms never share mutable engine state. An Arm is one
+// measured server configuration — cache off, cache warm, reloads landing
+// mid-load — driven closed-loop (a fixed client count, each issuing the
+// next query as soon as the last answers) or open-loop (a target arrival
+// rate, latencies measured under overload realism).
+//
+// Every request is timed individually and checked for staleness: the
+// harness tracks the highest generation whose reload has completed, and a
+// response claiming an older generation than the floor observed before the
+// request started is counted in Result.Stale. The tracked reload arm must
+// report zero stale and zero failed requests — the serving stack's
+// correctness-under-churn guarantee, enforced by this package's tests
+// under the race detector and recorded in BENCH_serve.json.
+//
+// # BENCH_serve.json
+//
+// Reports are written under schema "cirank/bench-serve/v1" with the same
+// header and cell-key fields as the other tracked trajectories, so
+// cirank-bench -compare diffs serve cells like any other grid (matched on
+// stage, scale, workers, k; workers is the client count here):
+//
+//   - stage: the arm — "serve-nocache" (result cache and coalescing off;
+//     the baseline), "serve-cached" (full serving stack, cache warmed),
+//     "serve-reload" (full stack with hot reloads landing during load).
+//   - n: completed requests; ns_per_op / p50_ns / p99_ns: per-request
+//     wall-clock latency through HTTP; queries_per_sec: sustained
+//     throughput over the measured window.
+//   - cache_hit_rate, coalesce_rate: fraction of OK responses served by
+//     the result cache / by riding another request's flight (from the
+//     envelope's stats.source, so the client observes what the server
+//     claims).
+//   - rejected: 429 load-shed responses (not failures); failed: transport
+//     errors or any other non-200; stale: generation-floor violations;
+//     reloads: hot reloads completed during the measured window.
+//   - speedup_vs_nocache: this cell's queries_per_sec over the
+//     serve-nocache arm's at the same scale, workers and k — the headline
+//     number for what the serving stack buys.
+package servebench
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cirank"
+	"cirank/internal/datagen"
+	"cirank/internal/searchbench"
+)
+
+// Fixture is one prepared serving workload: a snapshot of the built engine
+// plus the query stream to replay against it. Arms open the snapshot
+// independently, so a Fixture is safe to reuse across arms and goroutines.
+type Fixture struct {
+	// Dataset is "dblp" or "imdb".
+	Dataset string
+	// Scale is the dataset scale multiplier.
+	Scale float64
+	// DataSeed drove dataset generation, QuerySeed the query sampler and
+	// stream skew.
+	DataSeed, QuerySeed int64
+	// SnapshotPath is the engine snapshot every arm serves from.
+	SnapshotPath string
+	// Queries are the distinct query strings (terms joined by spaces).
+	Queries []string
+	// Stream is the skewed replay order over Queries.
+	Stream []int
+	// Nodes and Edges describe the served graph.
+	Nodes, Edges int
+
+	// paths are the pre-rendered request URIs per distinct query, indexed
+	// like Queries.
+	paths []string
+}
+
+// NewFixture generates the dataset, builds the engine through the public
+// builder (the same path cmd/cirank-server takes), snapshots it into dir,
+// and derives the query stream. Identical arguments produce an identical
+// fixture.
+func NewFixture(dir, dataset string, scale float64, dataSeed, querySeed int64, k int) (*Fixture, error) {
+	var (
+		ds  *datagen.Dataset
+		b   *cirank.Builder
+		err error
+	)
+	switch dataset {
+	case "imdb":
+		ds, err = datagen.GenerateIMDB(datagen.DefaultIMDBConfig(dataSeed).Scale(scale))
+		b = cirank.NewIMDBBuilder()
+	case "dblp":
+		ds, err = datagen.GenerateDBLP(datagen.DefaultDBLPConfig(dataSeed).Scale(scale))
+		b = cirank.NewDBLPBuilder()
+	default:
+		return nil, fmt.Errorf("servebench: unknown dataset %q (want dblp or imdb)", dataset)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// The workload generator needs the analysis graph; the serving engine
+	// needs the same rows through the public builder. Both replay ds, so
+	// the queries match the corpus byte for byte.
+	built, err := datagen.Build(ds)
+	if err != nil {
+		return nil, err
+	}
+	nq, stream := searchbench.StreamPlan(querySeed)
+	qs, err := built.GenerateWorkload(datagen.UserLogConfig(nq, querySeed))
+	if err != nil {
+		return nil, err
+	}
+
+	if err := ds.Replay(b.InsertEntity, b.Relate); err != nil {
+		return nil, err
+	}
+	eng, err := b.Build(cirank.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	path := filepath.Join(dir, fmt.Sprintf("%s-%g.snap", dataset, scale))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Save(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	fx := &Fixture{
+		Dataset:      dataset,
+		Scale:        scale,
+		DataSeed:     dataSeed,
+		QuerySeed:    querySeed,
+		SnapshotPath: path,
+		Stream:       stream,
+		Nodes:        eng.NumNodes(),
+		Edges:        eng.NumEdges(),
+	}
+	for _, q := range qs {
+		query := strings.Join(q.Terms, " ")
+		fx.Queries = append(fx.Queries, query)
+		fx.paths = append(fx.paths, fmt.Sprintf("/v1/search?q=%s&k=%d", url.QueryEscape(query), k))
+	}
+	// The stream indexes the generated query list; a short workload (rare
+	// at tiny scales) still replays correctly via the modulo below.
+	if len(fx.Queries) == 0 {
+		return nil, fmt.Errorf("servebench: workload generation produced no queries for %s scale %g", dataset, scale)
+	}
+	return fx, nil
+}
+
+// Path returns the request URI of the i-th stream entry.
+func (f *Fixture) Path(i int) string {
+	return f.paths[f.Stream[i%len(f.Stream)]%len(f.paths)]
+}

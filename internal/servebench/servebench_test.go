@@ -1,0 +1,168 @@
+package servebench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// testFixture builds one small shared fixture; building a dataset and
+// snapshot per test would dominate the package's runtime.
+func testFixture(t *testing.T) *Fixture {
+	t.Helper()
+	f, err := NewFixture(t.TempDir(), "dblp", 0.1, 2, 13, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFixtureDeterministic(t *testing.T) {
+	a := testFixture(t)
+	b := testFixture(t)
+	if len(a.Queries) == 0 || len(a.Stream) == 0 {
+		t.Fatalf("empty fixture: %d queries, %d stream entries", len(a.Queries), len(a.Stream))
+	}
+	if len(a.Queries) != len(b.Queries) || len(a.Stream) != len(b.Stream) {
+		t.Fatalf("fixture shape diverged: %d/%d queries, %d/%d stream", len(a.Queries), len(b.Queries), len(a.Stream), len(b.Stream))
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d diverged: %q vs %q", i, a.Queries[i], b.Queries[i])
+		}
+	}
+	for i := range a.Stream {
+		if a.Stream[i] != b.Stream[i] {
+			t.Fatalf("stream entry %d diverged: %d vs %d", i, a.Stream[i], b.Stream[i])
+		}
+	}
+	if p := a.Path(0); p == "" || p[0] != '/' {
+		t.Fatalf("Path(0) = %q", p)
+	}
+}
+
+// TestArmInvariants runs the three tracked arms briefly and checks the
+// properties the tracked BENCH_serve.json report relies on: the baseline
+// arm never reports cache or coalesce service, the warmed arm serves
+// mostly from cache, and the reload arm — reloading while clients hammer
+// the server — finishes with zero stale and zero failed requests. CI runs
+// this under -race, which is the serving stack's churn-safety proof at the
+// HTTP boundary.
+func TestArmInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real load for ~1.5s")
+	}
+	f := testFixture(t)
+
+	base, err := f.Run(Arm{Stage: "serve-nocache", CacheOff: true, CoalesceOff: true, Clients: 4, Duration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.OK == 0 {
+		t.Fatal("baseline arm completed zero requests")
+	}
+	if base.CacheHits != 0 || base.Coalesced != 0 {
+		t.Fatalf("cache-off arm reported cacheHits=%d coalesced=%d", base.CacheHits, base.Coalesced)
+	}
+	if base.Failed != 0 || base.Stale != 0 {
+		t.Fatalf("baseline arm failed=%d stale=%d", base.Failed, base.Stale)
+	}
+
+	warm, err := f.Run(Arm{Stage: "serve-cached", Warm: true, Clients: 4, Duration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.OK == 0 {
+		t.Fatal("warmed arm completed zero requests")
+	}
+	if warm.CacheHits == 0 {
+		t.Fatal("warmed arm recorded zero cache hits; the warm pass did not populate the result cache")
+	}
+	if warm.Failed != 0 || warm.Stale != 0 {
+		t.Fatalf("warmed arm failed=%d stale=%d", warm.Failed, warm.Stale)
+	}
+
+	reload, err := f.Run(Arm{Stage: "serve-reload", Warm: true, Clients: 4, Duration: 600 * time.Millisecond, ReloadEvery: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reload.OK == 0 {
+		t.Fatal("reload arm completed zero requests")
+	}
+	if reload.Reloads == 0 {
+		t.Fatal("reload arm completed zero reloads; ReloadEvery plumbing is broken")
+	}
+	// The tracked guarantee: reloads landing mid-load never surface as
+	// failures or stale-generation answers.
+	if reload.Failed != 0 {
+		t.Fatalf("reload arm: %d failed requests during hot reloads", reload.Failed)
+	}
+	if reload.Stale != 0 {
+		t.Fatalf("reload arm: %d stale-generation responses during hot reloads", reload.Stale)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	f := &Fixture{Dataset: "dblp", Scale: 0.1, Nodes: 10, Edges: 12}
+	arm := Arm{Stage: "serve-cached", Clients: 4, Duration: time.Second}
+	res := Result{Requests: 100, OK: 90, Rejected: 6, Failed: 4, CacheHits: 45, Coalesced: 9,
+		MeanNs: 1000, P50Ns: 900, P99Ns: 4000, QPS: 90.123, Reloads: 2}
+	cell := f.Cell(arm, 5, res)
+	if cell.Stage != "serve-cached" || cell.Workers != 4 || cell.K != 5 || cell.N != 100 {
+		t.Fatalf("cell key fields wrong: %+v", cell)
+	}
+	if cell.CacheHitRate != 0.5 || cell.CoalesceRate != 0.1 {
+		t.Fatalf("rates wrong: hit=%v coalesce=%v", cell.CacheHitRate, cell.CoalesceRate)
+	}
+	if cell.QPS != 90.12 {
+		t.Fatalf("QPS rounding wrong: %v", cell.QPS)
+	}
+
+	rep := NewReport("dblp", 2, 13)
+	rep.Results = append(rep.Results, cell)
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["schema"] != Schema {
+		t.Fatalf("schema = %v", back["schema"])
+	}
+	cells := back["results"].([]any)
+	c0 := cells[0].(map[string]any)
+	for _, key := range []string{"stage", "scale", "workers", "k", "n", "ns_per_op", "p50_ns", "p99_ns",
+		"queries_per_sec", "cache_hit_rate", "coalesce_rate", "rejected", "failed", "stale", "reloads"} {
+		if _, ok := c0[key]; !ok {
+			t.Errorf("cell JSON missing %q", key)
+		}
+	}
+	if _, ok := c0["target_qps"]; ok {
+		t.Error("closed-loop cell should omit target_qps")
+	}
+}
+
+func TestTrackedArms(t *testing.T) {
+	arms := TrackedArms(8, 2*time.Second)
+	if len(arms) != 3 {
+		t.Fatalf("got %d arms", len(arms))
+	}
+	stages := map[string]Arm{}
+	for _, a := range arms {
+		stages[a.Stage] = a
+		if a.Clients != 8 || a.Duration != 2*time.Second {
+			t.Errorf("arm %s sizing wrong: %+v", a.Stage, a)
+		}
+	}
+	if a := stages["serve-nocache"]; !a.CacheOff || !a.CoalesceOff || a.Warm {
+		t.Errorf("serve-nocache misconfigured: %+v", a)
+	}
+	if a := stages["serve-cached"]; a.CacheOff || a.CoalesceOff || !a.Warm || a.ReloadEvery != 0 {
+		t.Errorf("serve-cached misconfigured: %+v", a)
+	}
+	if a := stages["serve-reload"]; !a.Warm || a.ReloadEvery <= 0 {
+		t.Errorf("serve-reload misconfigured: %+v", a)
+	}
+}

@@ -1,0 +1,10 @@
+package server
+
+import "errors"
+
+// ErrBadConfig reports an invalid server Config field at construction time.
+// Every validation failure in Config.withDefaults wraps this sentinel
+// together with the offending field and value, mirroring the cirank.Config
+// convention, so embedders classify "I misconfigured the server" with
+// errors.Is no matter which field was wrong.
+var ErrBadConfig = errors.New("server: invalid config")

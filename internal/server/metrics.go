@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sync/atomic"
 	"time"
 
@@ -19,16 +20,20 @@ var latencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 // scrape time. Reads use atomic loads, so scrapes see a near-consistent
 // snapshot without stopping traffic.
 type metrics struct {
-	// Per-outcome request counters for /search.
+	// Per-outcome request counters for search queries (single and batch
+	// entries alike).
 	ok, badRequest, rejected, timeout, internal atomic.Int64
 	// Partial-result counters: queries that returned best-so-far answers.
 	interrupted, truncated atomic.Int64
 	// expanded accumulates branch-and-bound expansions across queries.
 	expanded atomic.Int64
-	// Reload counters: successful and failed /admin/reload attempts.
+	// Coalescing counters: flightLeaders ran an evaluation, coalesced rode
+	// an identical in-flight one.
+	flightLeaders, coalesced atomic.Int64
+	// Reload counters: successful and failed reload attempts.
 	reloadsOK, reloadsFailed atomic.Int64
-	// inflight is the number of /search requests currently holding an
-	// admission slot.
+	// inflight is the number of queries currently evaluating on the engine
+	// (cache hits and coalesced followers never count).
 	inflight atomic.Int64
 	// Histogram state: per-bucket counts (non-cumulative; the +Inf bucket
 	// is buckets[len(latencyBuckets)]), total count and sum in
@@ -36,6 +41,20 @@ type metrics struct {
 	buckets  [len(latencyBuckets) + 1]atomic.Int64
 	count    atomic.Int64
 	sumMicro atomic.Int64
+}
+
+// countOutcome maps one failed query to its outcome counter.
+func (m *metrics) countOutcome(e *apiError) {
+	switch e.status {
+	case http.StatusTooManyRequests:
+		m.rejected.Add(1)
+	case http.StatusGatewayTimeout:
+		m.timeout.Add(1)
+	case http.StatusBadRequest:
+		m.badRequest.Add(1)
+	case http.StatusInternalServerError:
+		m.internal.Add(1)
+	}
 }
 
 // observe records one query latency in the histogram.
@@ -50,17 +69,48 @@ func (m *metrics) observe(d time.Duration) {
 	m.sumMicro.Add(d.Microseconds())
 }
 
+// scrapeView is one consistent-enough reading of the serving-stack state
+// that lives outside the metrics struct: engine caches, the result cache,
+// admission and the generation.
+type scrapeView struct {
+	engineCache  cirank.CacheStats
+	generation   uint64
+	resultHits   int64
+	resultMisses int64
+	admitted     int64
+	admRejected  int64
+	inflightCost int64
+}
+
+// scrape assembles the view for one /metrics exposition.
+func (s *Server) scrape(cache cirank.CacheStats) scrapeView {
+	v := scrapeView{
+		engineCache:  cache,
+		generation:   s.provider.Generation(),
+		admitted:     s.adm.admitted.Load(),
+		admRejected:  s.adm.rejected.Load(),
+		inflightCost: s.adm.cost.Load(),
+	}
+	if s.cache != nil {
+		v.resultHits, v.resultMisses = s.cache.stats()
+	}
+	return v
+}
+
 // writeTo emits the metrics in the Prometheus text exposition format,
-// folding in the engine's cache counters, the current in-flight gauge and
-// the engine generation.
-func (m *metrics) writeTo(w io.Writer, cache cirank.CacheStats, generation uint64) {
+// folding in the engine's cache counters, the serving-stack view and the
+// current in-flight gauge.
+func (m *metrics) writeTo(w io.Writer, v scrapeView) {
 	counter := func(name, help string, pairs ...any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 		for i := 0; i+1 < len(pairs); i += 2 {
 			fmt.Fprintf(w, "%s%s %d\n", name, pairs[i], pairs[i+1])
 		}
 	}
-	counter("cirank_queries_total", "Completed /search requests by outcome.",
+	gauge := func(name, help string, val int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, val)
+	}
+	counter("cirank_queries_total", "Completed search queries by outcome.",
 		`{status="ok"}`, m.ok.Load(),
 		`{status="bad_request"}`, m.badRequest.Load(),
 		`{status="rejected"}`, m.rejected.Load(),
@@ -74,23 +124,34 @@ func (m *metrics) writeTo(w io.Writer, cache cirank.CacheStats, generation uint6
 	counter("cirank_expansions_total", "Branch-and-bound candidate expansions across all queries.",
 		"", m.expanded.Load(),
 	)
+	counter("cirank_coalesce_total", "Singleflight outcomes: leaders evaluated, followers rode an identical in-flight query.",
+		`{role="leader"}`, m.flightLeaders.Load(),
+		`{role="follower"}`, m.coalesced.Load(),
+	)
+	counter("cirank_result_cache_total", "Generation-keyed result cache lookups by outcome.",
+		`{result="hit"}`, v.resultHits,
+		`{result="miss"}`, v.resultMisses,
+	)
+	counter("cirank_admission_total", "Cost-based admission decisions by outcome.",
+		`{result="admitted"}`, v.admitted,
+		`{result="rejected"}`, v.admRejected,
+	)
 	counter("cirank_cache_hits_total", "Engine memo-cache hits by cache.",
-		`{cache="score"}`, cache.ScoreHits,
-		`{cache="bound"}`, cache.BoundHits,
+		`{cache="score"}`, v.engineCache.ScoreHits,
+		`{cache="bound"}`, v.engineCache.BoundHits,
 	)
 	counter("cirank_cache_misses_total", "Engine memo-cache misses by cache.",
-		`{cache="score"}`, cache.ScoreMisses,
-		`{cache="bound"}`, cache.BoundMisses,
+		`{cache="score"}`, v.engineCache.ScoreMisses,
+		`{cache="bound"}`, v.engineCache.BoundMisses,
 	)
 	counter("cirank_reloads_total", "Hot-reload attempts by outcome.",
 		`{status="ok"}`, m.reloadsOK.Load(),
 		`{status="error"}`, m.reloadsFailed.Load(),
 	)
-	fmt.Fprintf(w, "# HELP cirank_engine_generation Current engine generation (1 + successful reloads).\n")
-	fmt.Fprintf(w, "# TYPE cirank_engine_generation gauge\ncirank_engine_generation %d\n", generation)
-	fmt.Fprintf(w, "# HELP cirank_inflight_queries /search requests currently holding an admission slot.\n")
-	fmt.Fprintf(w, "# TYPE cirank_inflight_queries gauge\ncirank_inflight_queries %d\n", m.inflight.Load())
-	fmt.Fprintf(w, "# HELP cirank_query_duration_seconds Engine latency of successful /search queries.\n")
+	gauge("cirank_engine_generation", "Current engine generation (1 + successful reloads).", int64(v.generation))
+	gauge("cirank_inflight_queries", "Queries currently evaluating on the engine.", m.inflight.Load())
+	gauge("cirank_inflight_cost", "Total estimated cost of queries currently evaluating (admission budget consumption).", v.inflightCost)
+	fmt.Fprintf(w, "# HELP cirank_query_duration_seconds Engine latency of successful search queries.\n")
 	fmt.Fprintf(w, "# TYPE cirank_query_duration_seconds histogram\n")
 	cum := int64(0)
 	for i, le := range latencyBuckets {

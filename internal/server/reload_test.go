@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -228,17 +229,84 @@ func TestReloadNotConfigured(t *testing.T) {
 	}
 }
 
-// TestReloadUnderQueryLoad is the zero-failed-requests guarantee: queries
-// hammer /search from several goroutines while /admin/reload swaps the
-// engine repeatedly, and every single request must succeed — the swap is
-// atomic and old generations drain instead of dying.
+// ullmanVariant builds the small bibliography engine plus extra distinct
+// "ullman"-matching authors, so the answer count of the probe query
+// identifies which corpus a response was really computed against.
+func ullmanVariant(t testing.TB, extra int) *cirank.Engine {
+	t.Helper()
+	b := cirank.NewDBLPBuilder()
+	b.MustInsert("Author", "a1", "jeffrey ullman")
+	b.MustInsert("Author", "a2", "yannis papakonstantinou")
+	b.MustInsert("Paper", "p1", "object exchange across heterogeneous information sources")
+	b.MustInsert("Paper", "p2", "database systems the complete book")
+	b.MustRelate("written_by", "p1", "a1")
+	b.MustRelate("written_by", "p1", "a2")
+	b.MustRelate("written_by", "p2", "a1")
+	for i := 0; i < extra; i++ {
+		b.MustInsert("Author", fmt.Sprintf("ax%d", i), fmt.Sprintf("ullman variant%d", i))
+	}
+	eng, err := b.Build(cirank.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// trySaveSnapshot writes eng's snapshot at path atomically (temp file +
+// rename), so an engine still mmap-serving the old file keeps its pages —
+// the inode survives the replace. Safe to call from non-test goroutines.
+func trySaveSnapshot(eng *cirank.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// TestReloadUnderQueryLoad is the zero-failed-requests, zero-stale-results
+// guarantee of the serving stack: /v1 queries — cache hits, coalesced
+// followers and fresh evaluations alike — hammer the server from several
+// goroutines while reloads alternate between two distinguishable corpora.
+// Every request must succeed, every response's claimed generation must be at
+// least the last reload completed before the request started, and every
+// response's content must match the corpus of the generation it claims —
+// a stale cache or flight entry surviving a swap would trip one of the two.
 func TestReloadUnderQueryLoad(t *testing.T) {
 	const (
-		queriers         = 4
-		queriesPerWorker = 40
-		reloads          = 8
+		queriers         = 6
+		queriesPerWorker = 50
+		reloads          = 10
 	)
-	_, _, url := snapshotServer(t, smallEngine(t), Config{MaxInFlight: 64})
+	// Generation g serves corpus A (1 probe answer) when g is odd, corpus B
+	// (3 probe answers) when even.
+	engA, engB := ullmanVariant(t, 0), ullmanVariant(t, 2)
+	resA, err := engA.Search("ullman", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := engB.Search("ullman", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := map[uint64]int{1: len(resA), 0: len(resB)}
+	if wantCount[1] == wantCount[0] {
+		t.Fatalf("corpora not distinguishable: both answer %d results", wantCount[1])
+	}
+
+	path, s, url := snapshotServer(t, ullmanVariant(t, 0), Config{MaxInFlight: 64})
+
+	// lastCompleted is the highest generation whose reload has answered; a
+	// request started after that answer must never see an older generation.
+	var lastCompleted atomic.Uint64
+	lastCompleted.Store(1)
 
 	var wg sync.WaitGroup
 	errc := make(chan error, queriers*queriesPerWorker+reloads)
@@ -247,7 +315,8 @@ func TestReloadUnderQueryLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < queriesPerWorker; i++ {
-				resp, err := http.Get(url + "/search?q=ullman+papakonstantinou&k=2")
+				floor := lastCompleted.Load()
+				resp, err := http.Get(url + "/v1/search?q=ullman&k=10")
 				if err != nil {
 					errc <- err
 					return
@@ -258,6 +327,26 @@ func TestReloadUnderQueryLoad(t *testing.T) {
 					errc <- fmt.Errorf("search during reload: status %d (%s)", resp.StatusCode, body)
 					return
 				}
+				var res V1SearchResponse
+				if err := json.Unmarshal(body, &res); err != nil {
+					errc <- fmt.Errorf("search during reload: decode: %v", err)
+					return
+				}
+				if res.Generation < floor {
+					errc <- fmt.Errorf("stale generation: response claims %d, but reload to %d had completed before the request started", res.Generation, floor)
+					return
+				}
+				if want := wantCount[res.Generation%2]; len(res.Results) != want {
+					errc <- fmt.Errorf("stale content: generation %d (source %s) answered %d results, its corpus has %d",
+						res.Generation, res.Stats.Source, len(res.Results), want)
+					return
+				}
+				switch res.Stats.Source {
+				case ServedEngine, ServedCache, ServedCoalesced:
+				default:
+					errc <- fmt.Errorf("unknown serving source %q", res.Stats.Source)
+					return
+				}
 			}
 		}()
 	}
@@ -265,7 +354,16 @@ func TestReloadUnderQueryLoad(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < reloads; i++ {
-			resp, err := http.Post(url+"/admin/reload", "application/json", nil)
+			gen := uint64(i + 2) // the generation this reload creates
+			next := engA
+			if gen%2 == 0 {
+				next = engB
+			}
+			if err := trySaveSnapshot(next, path); err != nil {
+				errc <- fmt.Errorf("reload %d: rewrite snapshot: %v", i, err)
+				return
+			}
+			resp, err := http.Post(url+"/v1/admin/reload", "application/json", nil)
 			if err != nil {
 				errc <- err
 				return
@@ -276,6 +374,16 @@ func TestReloadUnderQueryLoad(t *testing.T) {
 				errc <- fmt.Errorf("reload %d: status %d (%s)", i, resp.StatusCode, body)
 				return
 			}
+			var rel V1ReloadResponse
+			if err := json.Unmarshal(body, &rel); err != nil {
+				errc <- fmt.Errorf("reload %d: decode: %v", i, err)
+				return
+			}
+			if rel.Generation != gen {
+				errc <- fmt.Errorf("reload %d: generation %d, want %d", i, rel.Generation, gen)
+				return
+			}
+			lastCompleted.Store(rel.Generation)
 		}
 	}()
 	wg.Wait()
@@ -288,6 +396,100 @@ func TestReloadUnderQueryLoad(t *testing.T) {
 	getJSON(t, url+"/healthz", http.StatusOK, &health)
 	if health.Generation != reloads+1 {
 		t.Errorf("final generation = %d, want %d", health.Generation, reloads+1)
+	}
+	// The storm must have exercised the cache, and the books must balance:
+	// every OK answer came from exactly one serving layer.
+	hits, _ := s.cache.stats()
+	if hits == 0 {
+		t.Error("no result-cache hits across the storm; the cached path never straddled a reload")
+	}
+	served := hits + s.m.coalesced.Load() + s.m.flightLeaders.Load()
+	if ok := s.m.ok.Load(); ok != queriers*queriesPerWorker || served != ok {
+		t.Errorf("accounting: ok=%d (want %d), cache+coalesced+leaders=%d", ok, queriers*queriesPerWorker, served)
+	}
+	t.Logf("storm served %d cache hits, %d coalesced, %d evaluations across %d reloads",
+		hits, s.m.coalesced.Load(), s.m.flightLeaders.Load(), reloads)
+}
+
+// TestCoalescedReloadStraddle pins the coalescing×reload interaction
+// deterministically: a follower rides a slow in-flight evaluation, a reload
+// swaps the engine mid-flight, and both leader and follower still answer —
+// labelled with the generation they actually leased, never the new one —
+// while the next request evaluates fresh against the new generation.
+func TestCoalescedReloadStraddle(t *testing.T) {
+	_, s, url := snapshotServer(t, denseEngine(t, 40), Config{MaxExpansions: -1})
+	const q = "/v1/search?q=alpha+beta&k=10&timeout=700ms"
+
+	var wg sync.WaitGroup
+	responses := make([]V1SearchResponse, 2)
+	fetchErrs := make([]error, 2)
+	start := func(i int, ready chan<- struct{}) {
+		defer wg.Done()
+		if ready != nil {
+			close(ready)
+		}
+		resp, err := http.Get(url + q)
+		if err != nil {
+			fetchErrs[i] = err
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fetchErrs[i] = fmt.Errorf("status %d (%s)", resp.StatusCode, body)
+			return
+		}
+		fetchErrs[i] = json.Unmarshal(body, &responses[i])
+	}
+	wg.Add(1)
+	go start(0, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.m.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader evaluation never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ready := make(chan struct{})
+	wg.Add(1)
+	go start(1, ready)
+	// Give the follower a beat to join the flight, then swap the engine out
+	// from under it.
+	<-ready
+	time.Sleep(100 * time.Millisecond)
+	var rel V1ReloadResponse
+	postJSON(t, url+"/v1/admin/reload", http.StatusOK, &rel)
+	if rel.Generation != 2 {
+		t.Fatalf("reload generation = %d, want 2", rel.Generation)
+	}
+	wg.Wait()
+
+	for i, err := range fetchErrs {
+		if err != nil {
+			t.Fatalf("request %d failed across the reload: %v", i, err)
+		}
+	}
+	for i, res := range responses {
+		if res.Generation != 1 {
+			t.Errorf("request %d: generation %d, want 1 — a mid-flight reload relabelled a result", i, res.Generation)
+		}
+		if len(res.Results) == 0 {
+			t.Errorf("request %d: no results from the straddling flight", i)
+		}
+	}
+	if s.m.coalesced.Load() != 1 || s.m.flightLeaders.Load() != 1 {
+		t.Errorf("coalesce counters = %d leaders / %d followers, want 1/1",
+			s.m.flightLeaders.Load(), s.m.coalesced.Load())
+	}
+	// The new generation answers fresh: its key space is disjoint from every
+	// pre-reload cache or flight entry.
+	var after V1SearchResponse
+	getJSON(t, url+q, http.StatusOK, &after)
+	if after.Generation != 2 {
+		t.Errorf("post-reload generation = %d, want 2", after.Generation)
+	}
+	if after.Stats.Source != ServedEngine {
+		t.Errorf("post-reload source = %q, want %q — a stale serving-layer entry crossed the reload", after.Stats.Source, ServedEngine)
 	}
 }
 

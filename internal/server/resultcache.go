@@ -1,0 +1,64 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"cirank/internal/cache"
+)
+
+// resultCache is the bounded, generation-keyed result cache in front of the
+// engine. Entries are complete query outcomes keyed by queryKey — which
+// embeds the engine generation — so a result computed against generation g
+// is only ever findable by a request that itself leased generation g. A hot
+// reload therefore invalidates atomically for free: generation g+1 requests
+// form different keys and miss. On top of the structural guarantee, swap
+// replaces the whole LRU, releasing the retired generation's memory
+// immediately instead of waiting for eviction.
+//
+// The cached values are shared across requests without copying, which is
+// safe because the serving layer treats outcomes as immutable: results are
+// detached from the engine's pooled arenas before they reach the cache (see
+// cirank's resultsDetached contract) and handlers only read them to encode
+// responses.
+type resultCache struct {
+	lru    atomic.Pointer[cache.LRU[string, queryOutcome]]
+	size   int
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// newResultCache builds a cache holding at most size outcomes.
+func newResultCache(size int) *resultCache {
+	rc := &resultCache{size: size}
+	rc.lru.Store(cache.New[string, queryOutcome](size))
+	return rc
+}
+
+// get returns the cached outcome for key, if present.
+func (rc *resultCache) get(key string) (queryOutcome, bool) {
+	out, ok := rc.lru.Load().Get(key)
+	if ok {
+		rc.hits.Add(1)
+	} else {
+		rc.misses.Add(1)
+	}
+	return out, ok
+}
+
+// add stores an outcome. Only complete, successful outcomes belong in the
+// cache; the caller filters partial (interrupted) results, which reflect one
+// request's deadline, not the query's answer.
+func (rc *resultCache) add(key string, out queryOutcome) {
+	rc.lru.Load().Add(key, out)
+}
+
+// swap discards every cached outcome, for hot reloads: stale generations
+// are already unreachable by key construction, this releases their memory.
+func (rc *resultCache) swap() {
+	rc.lru.Store(cache.New[string, queryOutcome](rc.size))
+}
+
+// stats reports cumulative hit/miss counts.
+func (rc *resultCache) stats() (hits, misses int64) {
+	return rc.hits.Load(), rc.misses.Load()
+}

@@ -1,33 +1,43 @@
-// Package server is the HTTP/JSON serving layer over a cirank.Engine: the
-// query endpoint with per-request deadlines, a semaphore-based admission
-// limiter that sheds load with 429 instead of queueing unboundedly, a health
-// probe, a Prometheus-format metrics endpoint, and — when a snapshot path is
-// configured — a hot-reload endpoint.
+// Package server is the HTTP/JSON serving layer over a cirank.Engine,
+// built to survive heavy skewed traffic rather than just answer requests:
+// identical in-flight queries coalesce into one evaluation (singleflight),
+// complete results are cached in a bounded generation-keyed cache, and
+// admission is cost-based — the server estimates a query's work from its
+// terms' posting-list selectivity and sheds load with 429 + Retry-After when
+// the in-flight cost budget is exhausted, instead of counting every request
+// as one flat semaphore slot.
 //
-// Endpoints:
+// The HTTP surface is versioned. /v1/ is the stable, documented API
+// (docs/api.md) with a uniform JSON envelope carrying schema, generation,
+// results, stats and structured errors:
 //
-//	GET  /search?q=<keywords>&k=5&diameter=4&timeout=2s&workers=0
-//	GET  /healthz
-//	GET  /metrics
-//	POST /admin/reload        (only with Config.SnapshotPath set)
+//	GET  /v1/search?q=<keywords>&k=5&diameter=4&timeout=2s&workers=0
+//	POST /v1/search              {"queries": [{"q": ...}, ...]}  (batched)
+//	GET  /v1/healthz
+//	GET  /v1/metrics
+//	POST /v1/admin/reload        (only with Config.SnapshotPath set)
 //
-// Every /search runs under a context derived from the request — deadline
-// from the timeout parameter (default/cap from Config), cancellation from
-// client disconnect — so a runaway branch-and-bound query stops at its next
-// cancellation point and returns the best answers found so far with
-// stats.interrupted set, instead of burning a worker until completion.
+// The original unversioned paths (/search, /healthz, /metrics,
+// /admin/reload) keep serving their pre-v1 response bodies as deprecated
+// aliases; every legacy response carries a "Deprecation: true" header and a
+// Link to its successor.
+//
+// Every query runs under a deadline from its timeout parameter
+// (default/cap from Config), so a runaway branch-and-bound query stops at
+// its next cancellation point and returns the best answers found so far
+// with stats.interrupted set, instead of burning a worker until completion.
 //
 // The server never touches a bare engine: requests borrow the current one
-// from a Provider for exactly their own duration. /admin/reload re-opens the
-// configured snapshot, validates it (checksums and structural invariants are
-// verified by cirank.Open before the engine exists), and atomically swaps it
-// in; queries already running continue against the engine they started with
-// and the old engine is closed when the last of them finishes. No request
-// ever fails because a reload happened mid-flight.
+// from a Provider for exactly their own duration, and every result —
+// cached, coalesced or fresh — is keyed by the borrowed generation.
+// /admin/reload re-opens the configured snapshot, validates it, atomically
+// swaps it in and discards the result cache; queries already running
+// continue against the engine they started with, a result computed against
+// generation g can only ever reach a request that leased generation g, and
+// no request ever fails because a reload happened mid-flight.
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,7 +52,8 @@ import (
 )
 
 // Config sizes a Server. The zero value of every field except Engine takes
-// a sensible serving default.
+// a sensible serving default; invalid values are rejected at New with
+// errors wrapping ErrBadConfig.
 type Config struct {
 	// Engine is the query-ready engine to serve. Required.
 	Engine *cirank.Engine
@@ -61,30 +72,62 @@ type Config struct {
 	// timeout parameter (default 5s).
 	DefaultTimeout time.Duration
 	// MaxTimeout caps the timeout parameter (default 30s); larger requests
-	// are clamped, keeping one slow client from parking an admission slot.
+	// are clamped, keeping one slow client from parking admission budget.
 	MaxTimeout time.Duration
-	// MaxInFlight is the admission limit: at most this many /search
-	// requests run concurrently, the rest get 429 (default 2×GOMAXPROCS).
-	MaxInFlight int
 	// MaxExpansions caps branch-and-bound work per query (default 200000;
 	// -1 removes the cap, leaving the timeout as the only bound).
 	MaxExpansions int
-	// SnapshotPath, when non-empty, enables POST /admin/reload: the handler
-	// opens this snapshot file with cirank.Open and hot-swaps the resulting
-	// engine in. Empty leaves the endpoint unregistered (404).
+	// SnapshotPath, when non-empty, enables POST /v1/admin/reload (and its
+	// legacy alias): the handler opens this snapshot file with cirank.Open
+	// and hot-swaps the resulting engine in, discarding the result cache.
+	// Empty leaves the endpoints unregistered (404).
 	SnapshotPath string
-	// ReloadDrainTimeout bounds how long /admin/reload waits for queries
+	// ReloadDrainTimeout bounds how long a reload waits for queries
 	// borrowed from the replaced engine to finish before answering (default
 	// 5s). The swap itself is immediate regardless; a response with
 	// drained=false only means old queries were still running when the
 	// handler answered.
 	ReloadDrainTimeout time.Duration
+
+	// The serving knobs: how the server behaves under heavy traffic.
+
+	// ResultCacheSize bounds the generation-keyed result cache: at most
+	// this many complete query outcomes are retained, LRU-evicted (default
+	// 1024). Negative disables result caching entirely — the baseline arm
+	// of the serving benchmarks.
+	ResultCacheSize int
+	// CoalesceEnabled controls singleflight coalescing of identical
+	// in-flight queries. nil — the zero value — means enabled, the
+	// production default; point it at false (server.Bool(false)) to make
+	// every request evaluate independently, as the benchmark baseline does.
+	CoalesceEnabled *bool
+	// AdmissionBudget is the cost-based admission limit: the total
+	// estimated cost (1 + posting-list lengths of the query's terms, see
+	// Engine.TermSelectivity) of concurrently evaluating queries stays
+	// under this budget, and over-budget arrivals get 429 + Retry-After.
+	// An idle server admits any single query regardless of its cost.
+	// Default 4096 × GOMAXPROCS; negative is rejected.
+	AdmissionBudget int64
+	// MaxInFlight additionally caps the number of concurrently evaluating
+	// queries regardless of their cost (default 2×GOMAXPROCS) — floods of
+	// near-zero-cost queries are bounded by concurrency, expensive ones by
+	// budget. Cache hits and coalesced followers consume neither.
+	MaxInFlight int
+	// MaxBatch bounds the queries accepted in one POST /v1/search batch
+	// (default 16); larger batches get 400.
+	MaxBatch int
 }
 
-// withDefaults validates the config and fills the zero fields.
+// Bool returns a pointer to v, for the tri-state Config fields that
+// distinguish "unset, take the default" from an explicit false
+// (CoalesceEnabled).
+func Bool(v bool) *bool { return &v }
+
+// withDefaults validates the config and fills the zero fields. Every
+// failure wraps ErrBadConfig.
 func (c Config) withDefaults() (Config, error) {
 	if c.Engine == nil {
-		return c, errors.New("server: Config.Engine is required")
+		return c, fmt.Errorf("%w: Engine is required", ErrBadConfig)
 	}
 	if c.DefaultK == 0 {
 		c.DefaultK = 5
@@ -107,23 +150,38 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 1024
+	}
+	if c.CoalesceEnabled == nil {
+		c.CoalesceEnabled = Bool(true)
+	}
+	if c.AdmissionBudget == 0 {
+		c.AdmissionBudget = 4096 * int64(runtime.GOMAXPROCS(0))
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
 	for name, v := range map[string]int{
 		"DefaultK": c.DefaultK, "MaxK": c.MaxK,
 		"DefaultDiameter": c.DefaultDiameter, "MaxDiameter": c.MaxDiameter,
-		"MaxInFlight": c.MaxInFlight,
+		"MaxInFlight": c.MaxInFlight, "MaxBatch": c.MaxBatch,
 	} {
 		if v < 0 {
-			return c, fmt.Errorf("server: negative Config.%s %d", name, v)
+			return c, fmt.Errorf("%w: negative %s %d", ErrBadConfig, name, v)
 		}
 	}
+	if c.AdmissionBudget < 0 {
+		return c, fmt.Errorf("%w: negative AdmissionBudget %d", ErrBadConfig, c.AdmissionBudget)
+	}
 	if c.DefaultTimeout < 0 || c.MaxTimeout < 0 || c.ReloadDrainTimeout < 0 {
-		return c, errors.New("server: negative timeout config")
+		return c, fmt.Errorf("%w: negative timeout", ErrBadConfig)
 	}
 	if c.ReloadDrainTimeout == 0 {
 		c.ReloadDrainTimeout = 5 * time.Second
 	}
 	if c.MaxExpansions < -1 {
-		return c, fmt.Errorf("server: Config.MaxExpansions %d (use -1 to remove the cap)", c.MaxExpansions)
+		return c, fmt.Errorf("%w: MaxExpansions %d (use -1 to remove the cap)", ErrBadConfig, c.MaxExpansions)
 	}
 	return c, nil
 }
@@ -136,15 +194,18 @@ type Server struct {
 	// provider hands out per-request engine leases and owns the swap
 	// semantics; the server never stores a bare engine.
 	provider *Provider
-	// reloadMu serializes /admin/reload: loading a snapshot is expensive
-	// and concurrent reloads would race to be "the" new generation.
+	// reloadMu serializes reloads: loading a snapshot is expensive and
+	// concurrent reloads would race to be "the" new generation.
 	reloadMu sync.Mutex
-	// sem is the admission semaphore: a slot must be acquired before a
-	// query touches the engine, and acquisition never blocks — a full
-	// channel means 429.
-	sem chan struct{}
-	m   metrics
-	mux *http.ServeMux
+	// flight coalesces identical in-flight queries; cache holds complete
+	// outcomes keyed by generation; adm is the cost-based load shedder.
+	// cache is nil when result caching is disabled.
+	flight   flightGroup
+	cache    *resultCache
+	adm      admission
+	coalesce bool
+	m        metrics
+	mux      *http.ServeMux
 }
 
 // New validates the config and assembles a Server. The server's Provider
@@ -158,14 +219,25 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		provider: NewProvider(cfg.Engine),
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		mux:      http.NewServeMux(),
+		coalesce: *cfg.CoalesceEnabled,
+		adm: admission{
+			budget:        cfg.AdmissionBudget,
+			maxConcurrent: int64(cfg.MaxInFlight),
+		},
+		mux: http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.ResultCacheSize > 0 {
+		s.cache = newResultCache(cfg.ResultCacheSize)
+	}
+	s.mux.HandleFunc("/v1/search", s.handleV1Search)
+	s.mux.HandleFunc("/v1/healthz", s.handleV1Healthz)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetricsExposition)
+	s.mux.HandleFunc("/search", s.handleLegacySearch)
+	s.mux.HandleFunc("/healthz", s.handleLegacyHealthz)
+	s.mux.HandleFunc("/metrics", s.handleLegacyMetrics)
 	if cfg.SnapshotPath != "" {
-		s.mux.HandleFunc("/admin/reload", s.handleReload)
+		s.mux.HandleFunc("/v1/admin/reload", s.handleV1Reload)
+		s.mux.HandleFunc("/admin/reload", s.handleLegacyReload)
 	}
 	return s, nil
 }
@@ -183,7 +255,7 @@ func (s *Server) Close() { s.provider.Close() }
 // cmd/cirank-server).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Row is one tuple of an answer in the /search JSON response.
+// Row is one tuple of an answer in a search response.
 type Row struct {
 	// Table names the tuple's table.
 	Table string `json:"table"`
@@ -195,7 +267,7 @@ type Row struct {
 	Matched bool `json:"matched"`
 }
 
-// Answer is one ranked result in the /search JSON response.
+// Answer is one ranked result in a search response.
 type Answer struct {
 	// Score is the answer's collective importance (Eq. 4).
 	Score float64 `json:"score"`
@@ -206,7 +278,8 @@ type Answer struct {
 	Edges [][2]int `json:"edges"`
 }
 
-// Stats is the per-query work report in the /search JSON response.
+// Stats is the per-query work report of the legacy /search response; the
+// /v1 envelope uses V1Stats, which extends it with the serving source.
 type Stats struct {
 	// Expanded counts candidate trees expanded by branch-and-bound.
 	Expanded int `json:"expanded"`
@@ -224,7 +297,7 @@ type Stats struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// SearchResponse is the /search response body.
+// SearchResponse is the legacy /search response body, frozen pre-v1.
 type SearchResponse struct {
 	// Query is the raw q parameter.
 	Query string `json:"query"`
@@ -238,13 +311,13 @@ type SearchResponse struct {
 	Stats Stats `json:"stats"`
 }
 
-// ErrorResponse is the JSON body of every non-200 response.
+// ErrorResponse is the JSON body of every non-200 legacy response.
 type ErrorResponse struct {
 	// Error is a human-readable description of the failure.
 	Error string `json:"error"`
 }
 
-// HealthResponse is the /healthz response body.
+// HealthResponse is the legacy /healthz response body.
 type HealthResponse struct {
 	// Status is "ok" while an engine is being served, "closed" after
 	// Server.Close retired it.
@@ -254,14 +327,14 @@ type HealthResponse struct {
 	// Edges is the engine data graph's directed edge count.
 	Edges int `json:"edges"`
 	// Generation counts engine swaps: 1 for the initial engine,
-	// incremented by every successful /admin/reload.
+	// incremented by every successful reload.
 	Generation uint64 `json:"generation"`
 	// Source is how the current engine's data arrived: "build", "stream"
 	// or "mmap" (see cirank.BuildStats.Source).
 	Source string `json:"source"`
 }
 
-// ReloadResponse is the /admin/reload response body.
+// ReloadResponse is the legacy /admin/reload response body.
 type ReloadResponse struct {
 	// Status is "ok" on a successful swap.
 	Status string `json:"status"`
@@ -281,9 +354,18 @@ type ReloadResponse struct {
 	Drained bool `json:"drained"`
 }
 
-// handleSearch runs one query under admission control and a per-request
-// deadline.
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// deprecate stamps a legacy-path response with its deprecation headers: the
+// unversioned endpoints keep working, but clients are pointed at /v1.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+}
+
+// handleLegacySearch serves the pre-v1 /search wire format over the same
+// serving stack as /v1/search (coalescing, result cache and cost admission
+// included), marked deprecated.
+func (s *Server) handleLegacySearch(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/search")
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET"})
@@ -295,192 +377,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: errMsg})
 		return
 	}
-	// Admission control: never block, never queue — a saturated server
-	// answers 429 immediately so load sheds at the edge.
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.m.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "server at capacity"})
+	out, _, apiErr := s.runQuery(r.Context(), params)
+	if apiErr != nil {
+		s.m.countOutcome(apiErr)
+		if apiErr.retryAfter {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
 		return
 	}
-	defer func() { <-s.sem }()
-	s.m.inflight.Add(1)
-	defer s.m.inflight.Add(-1)
-
-	// Borrow the current engine for exactly this request. The lease keeps
-	// it alive (and, for zero-copy engines, mapped) even if a reload swaps
-	// in a new generation mid-query.
-	lease := s.provider.Acquire()
-	if lease == nil {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is shut down"})
-		return
-	}
-	defer lease.Release()
-
-	ctx, cancel := context.WithTimeout(r.Context(), params.timeout)
-	defer cancel()
-	res, err := lease.Engine().SearchTermsContext(ctx, params.terms, params.k, params.opts)
-	switch {
-	case err == nil:
-	case errors.Is(err, cirank.ErrDeadline):
-		// The context died before the query started: the client
-		// disconnected or the budget was consumed upstream.
-		s.m.timeout.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
-		return
-	case errors.Is(err, cirank.ErrBadK), errors.Is(err, cirank.ErrEmptyQuery), errors.Is(err, cirank.ErrBadOptions):
-		s.m.badRequest.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-		return
-	default:
-		s.m.internal.Add(1)
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
-		return
-	}
-	s.m.ok.Add(1)
-	if res.Stats.Interrupted {
-		s.m.interrupted.Add(1)
-	}
-	if res.Stats.Truncated {
-		s.m.truncated.Add(1)
-	}
-	s.m.expanded.Add(int64(res.Stats.Expanded))
-	s.m.observe(res.Stats.Elapsed)
-	writeJSON(w, http.StatusOK, searchResponse(params, res))
+	s.recordSuccess(out)
+	writeJSON(w, http.StatusOK, searchResponse(params, out.res))
 }
 
-// searchParams are the validated inputs of one /search request.
-type searchParams struct {
-	query   string
-	terms   []string
-	k       int
-	timeout time.Duration
-	opts    cirank.SearchOptions
-}
-
-// parseSearchParams validates the query string against the server limits.
-// It returns a non-empty message (for a 400) on invalid input.
-func (s *Server) parseSearchParams(r *http.Request) (searchParams, string) {
-	q := r.URL.Query()
-	p := searchParams{
-		query:   q.Get("q"),
-		k:       s.cfg.DefaultK,
-		timeout: s.cfg.DefaultTimeout,
-		opts: cirank.SearchOptions{
-			Diameter:      s.cfg.DefaultDiameter,
-			MaxExpansions: s.cfg.MaxExpansions,
-		},
-	}
-	p.terms = textindex.Tokenize(p.query)
-	if len(p.terms) == 0 {
-		return p, "missing or empty q parameter"
-	}
-	if v := q.Get("k"); v != "" {
-		k, err := strconv.Atoi(v)
-		if err != nil || k < 1 {
-			return p, fmt.Sprintf("bad k %q: want a positive integer", v)
-		}
-		if k > s.cfg.MaxK {
-			return p, fmt.Sprintf("k %d exceeds the limit %d", k, s.cfg.MaxK)
-		}
-		p.k = k
-	}
-	if v := q.Get("diameter"); v != "" {
-		d, err := strconv.Atoi(v)
-		if err != nil || d < 0 {
-			return p, fmt.Sprintf("bad diameter %q: want a non-negative integer", v)
-		}
-		if d > s.cfg.MaxDiameter {
-			return p, fmt.Sprintf("diameter %d exceeds the limit %d", d, s.cfg.MaxDiameter)
-		}
-		p.opts.Diameter = d
-	}
-	if v := q.Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			return p, fmt.Sprintf("bad timeout %q: want a positive Go duration like 500ms or 2s", v)
-		}
-		if d > s.cfg.MaxTimeout {
-			d = s.cfg.MaxTimeout // clamp: the server owns its worst case
-		}
-		p.timeout = d
-	}
-	if v := q.Get("workers"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return p, fmt.Sprintf("bad workers %q: want a non-negative integer", v)
-		}
-		p.opts.Workers = n
-	}
-	return p, ""
-}
-
-// searchResponse converts an engine result to the wire form.
-func searchResponse(p searchParams, res cirank.SearchResult) SearchResponse {
-	out := SearchResponse{
-		Query:   p.query,
-		Terms:   p.terms,
-		K:       p.k,
-		Results: make([]Answer, len(res.Results)),
-		Stats: Stats{
-			Expanded:    res.Stats.Expanded,
-			Generated:   res.Stats.Generated,
-			Answers:     res.Stats.Answers,
-			Truncated:   res.Stats.Truncated,
-			Interrupted: res.Stats.Interrupted,
-			ElapsedMS:   float64(res.Stats.Elapsed.Microseconds()) / 1e3,
-		},
-	}
-	for i, a := range res.Results {
-		ans := Answer{Score: a.Score, Rows: make([]Row, len(a.Rows)), Edges: a.Edges}
-		for j, row := range a.Rows {
-			ans.Rows[j] = Row{Table: row.Table, Key: row.Key, Text: row.Text, Matched: row.Matched}
-		}
-		out.Results[i] = ans
-	}
-	return out
-}
-
-// handleReload re-opens the configured snapshot and hot-swaps the engine.
-// Reloads are serialized; checksum and structural validation happen inside
-// cirank.Open, so a corrupt file never becomes the serving engine — the old
-// generation keeps serving and the handler answers 422.
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
-		return
-	}
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	eng, err := cirank.Open(s.cfg.SnapshotPath)
-	if err != nil {
-		s.m.reloadsFailed.Add(1)
-		code := http.StatusInternalServerError
-		if errors.Is(err, cirank.ErrBadSnapshot) {
-			code = http.StatusUnprocessableEntity
-		}
-		writeJSON(w, code, ErrorResponse{Error: err.Error()})
-		return
-	}
-	nodes, edges, source := eng.NumNodes(), eng.NumEdges(), eng.BuildStats().Source
-	gen, wait := s.provider.Swap(eng)
-	drained := wait(s.cfg.ReloadDrainTimeout)
-	s.m.reloadsOK.Add(1)
-	writeJSON(w, http.StatusOK, ReloadResponse{
-		Status:     "ok",
-		Generation: gen,
-		Nodes:      nodes,
-		Edges:      edges,
-		Source:     source,
-		Drained:    drained,
-	})
-}
-
-// handleHealthz answers the liveness/readiness probe.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleLegacyHealthz answers the pre-v1 liveness probe, marked deprecated.
+func (s *Server) handleLegacyHealthz(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/healthz")
 	lease := s.provider.Acquire()
 	if lease == nil {
 		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "closed"})
@@ -496,15 +408,192 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics emits the Prometheus text exposition.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleLegacyMetrics serves the Prometheus exposition on the deprecated
+// unversioned path; the body is identical to /v1/metrics.
+func (s *Server) handleLegacyMetrics(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/metrics")
+	s.handleMetricsExposition(w, r)
+}
+
+// handleLegacyReload serves the pre-v1 /admin/reload wire format, marked
+// deprecated.
+func (s *Server) handleLegacyReload(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/admin/reload")
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		return
+	}
+	rel, apiErr := s.reload()
+	if apiErr != nil {
+		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, rel)
+}
+
+// recordSuccess updates the per-outcome counters for one 200 answer.
+func (s *Server) recordSuccess(out queryOutcome) {
+	s.m.ok.Add(1)
+	if out.res.Stats.Interrupted {
+		s.m.interrupted.Add(1)
+	}
+	if out.res.Stats.Truncated {
+		s.m.truncated.Add(1)
+	}
+	s.m.expanded.Add(int64(out.res.Stats.Expanded))
+	s.m.observe(out.res.Stats.Elapsed)
+}
+
+// searchParams are the validated inputs of one query.
+type searchParams struct {
+	query   string
+	terms   []string
+	k       int
+	timeout time.Duration
+	opts    cirank.SearchOptions
+}
+
+// parseSearchParams validates the query string against the server limits.
+// It returns a non-empty message (for a 400) on invalid input.
+func (s *Server) parseSearchParams(r *http.Request) (searchParams, string) {
+	return s.validateParams(r.URL.Query().Get)
+}
+
+// validateParams builds searchParams from a string-keyed parameter lookup
+// (the HTTP query string, or a batch entry rendered to the same keys),
+// enforcing the server limits. An empty value means "parameter absent".
+func (s *Server) validateParams(get func(string) string) (searchParams, string) {
+	p := searchParams{
+		query:   get("q"),
+		k:       s.cfg.DefaultK,
+		timeout: s.cfg.DefaultTimeout,
+		opts: cirank.SearchOptions{
+			Diameter:      s.cfg.DefaultDiameter,
+			MaxExpansions: s.cfg.MaxExpansions,
+		},
+	}
+	p.terms = textindex.Tokenize(p.query)
+	if len(p.terms) == 0 {
+		return p, "missing or empty q parameter"
+	}
+	if v := get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 {
+			return p, fmt.Sprintf("bad k %q: want a positive integer", v)
+		}
+		if k > s.cfg.MaxK {
+			return p, fmt.Sprintf("k %d exceeds the limit %d", k, s.cfg.MaxK)
+		}
+		p.k = k
+	}
+	if v := get("diameter"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 0 {
+			return p, fmt.Sprintf("bad diameter %q: want a non-negative integer", v)
+		}
+		if d > s.cfg.MaxDiameter {
+			return p, fmt.Sprintf("diameter %d exceeds the limit %d", d, s.cfg.MaxDiameter)
+		}
+		p.opts.Diameter = d
+	}
+	if v := get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return p, fmt.Sprintf("bad timeout %q: want a positive Go duration like 500ms or 2s", v)
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout // clamp: the server owns its worst case
+		}
+		p.timeout = d
+	}
+	if v := get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Sprintf("bad workers %q: want a non-negative integer", v)
+		}
+		p.opts.Workers = n
+	}
+	return p, ""
+}
+
+// searchResponse converts an engine result to the legacy wire form.
+func searchResponse(p searchParams, res cirank.SearchResult) SearchResponse {
+	return SearchResponse{
+		Query:   p.query,
+		Terms:   p.terms,
+		K:       p.k,
+		Results: wireAnswers(res),
+		Stats: Stats{
+			Expanded:    res.Stats.Expanded,
+			Generated:   res.Stats.Generated,
+			Answers:     res.Stats.Answers,
+			Truncated:   res.Stats.Truncated,
+			Interrupted: res.Stats.Interrupted,
+			ElapsedMS:   float64(res.Stats.Elapsed.Microseconds()) / 1e3,
+		},
+	}
+}
+
+// wireAnswers converts engine results to their wire form, shared by the
+// legacy and /v1 encoders.
+func wireAnswers(res cirank.SearchResult) []Answer {
+	out := make([]Answer, len(res.Results))
+	for i, a := range res.Results {
+		ans := Answer{Score: a.Score, Rows: make([]Row, len(a.Rows)), Edges: a.Edges}
+		for j, row := range a.Rows {
+			ans.Rows[j] = Row{Table: row.Table, Key: row.Key, Text: row.Text, Matched: row.Matched}
+		}
+		out[i] = ans
+	}
+	return out
+}
+
+// reload re-opens the configured snapshot and hot-swaps the engine,
+// discarding the result cache. Reloads are serialized; checksum and
+// structural validation happen inside cirank.Open, so a corrupt file never
+// becomes the serving engine — the old generation keeps serving.
+func (s *Server) reload() (ReloadResponse, *apiError) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	eng, err := cirank.Open(s.cfg.SnapshotPath)
+	if err != nil {
+		s.m.reloadsFailed.Add(1)
+		if errors.Is(err, cirank.ErrBadSnapshot) {
+			return ReloadResponse{}, &apiError{status: http.StatusUnprocessableEntity, code: codeBadSnapshot, msg: err.Error()}
+		}
+		return ReloadResponse{}, &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
+	}
+	nodes, edges, source := eng.NumNodes(), eng.NumEdges(), eng.BuildStats().Source
+	gen, wait := s.provider.Swap(eng)
+	// Stale generations are unreachable by key construction (every cache
+	// key embeds the leasing request's generation); dropping the cache here
+	// releases their memory at the swap instead of waiting for eviction.
+	if s.cache != nil {
+		s.cache.swap()
+	}
+	drained := wait(s.cfg.ReloadDrainTimeout)
+	s.m.reloadsOK.Add(1)
+	return ReloadResponse{
+		Status:     "ok",
+		Generation: gen,
+		Nodes:      nodes,
+		Edges:      edges,
+		Source:     source,
+		Drained:    drained,
+	}, nil
+}
+
+// handleMetricsExposition emits the Prometheus text exposition (served on
+// /v1/metrics and, deprecated, on /metrics).
+func (s *Server) handleMetricsExposition(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var cache cirank.CacheStats
 	if lease := s.provider.Acquire(); lease != nil {
 		cache = lease.Engine().CacheStats()
 		lease.Release()
 	}
-	s.m.writeTo(w, cache, s.provider.Generation())
+	s.m.writeTo(w, s.scrape(cache))
 }
 
 // writeJSON writes a JSON response with the given status code.

@@ -205,14 +205,15 @@ func TestSearchBadRequests(t *testing.T) {
 	}
 }
 
-// TestAdmissionControl: with every admission slot held, /search answers 429
-// immediately instead of queueing.
+// TestAdmissionControl: with the concurrency cap saturated, /search answers
+// 429 + Retry-After immediately instead of queueing.
 func TestAdmissionControl(t *testing.T) {
 	s, ts := newTestServer(t, Config{Engine: smallEngine(t), MaxInFlight: 2})
-	// Occupy both slots directly — deterministic saturation, no goroutine
-	// timing games.
-	s.sem <- struct{}{}
-	s.sem <- struct{}{}
+	// Occupy both evaluation slots directly — deterministic saturation, no
+	// goroutine timing games.
+	if !s.adm.tryAcquire(1) || !s.adm.tryAcquire(1) {
+		t.Fatal("could not occupy the admission slots")
+	}
 	resp, err := http.Get(ts.URL + "/search?q=ullman")
 	if err != nil {
 		t.Fatal(err)
@@ -225,12 +226,43 @@ func TestAdmissionControl(t *testing.T) {
 		t.Error("429 without Retry-After")
 	}
 	// Freeing one slot restores service.
-	<-s.sem
+	s.adm.release(1)
 	var res SearchResponse
 	getJSON(t, ts.URL+"/search?q=ullman", http.StatusOK, &res)
 	if len(res.Results) == 0 {
 		t.Error("no results after slot freed")
 	}
+	s.adm.release(1)
+}
+
+// TestAdmissionCostBudget: expensive queries are priced by posting-list
+// selectivity — with the budget consumed by one in-flight query, a second
+// is shed, while an idle server admits any query regardless of cost.
+func TestAdmissionCostBudget(t *testing.T) {
+	s, ts := newTestServer(t, Config{Engine: smallEngine(t), AdmissionBudget: 3, MaxInFlight: 16})
+	// An idle server admits even an over-budget query.
+	if !s.adm.tryAcquire(100) {
+		t.Fatal("idle server rejected an expensive query")
+	}
+	// The budget is now exhausted: any further query is shed.
+	resp, err := http.Get(ts.URL + "/search?q=ullman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget server: status %d, want 429", resp.StatusCode)
+	}
+	s.adm.release(100)
+	// Cache hits bypass admission entirely: warm the cache, re-saturate,
+	// and the same query must still answer 200.
+	var res SearchResponse
+	getJSON(t, ts.URL+"/search?q=ullman", http.StatusOK, &res)
+	if !s.adm.tryAcquire(100) {
+		t.Fatal("idle server rejected an expensive query")
+	}
+	getJSON(t, ts.URL+"/search?q=ullman", http.StatusOK, &res)
+	s.adm.release(100)
 }
 
 // TestSearchTimeout: an uncapped query on a dense engine returns well under
