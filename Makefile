@@ -8,7 +8,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FUZZMINIMIZE ?= 5x
 
-.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-search bench-serve bench-smoke check serve loadgen
+.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-search bench-serve bench-shard bench-smoke check serve loadgen
 
 all: check
 
@@ -30,7 +30,7 @@ vet:
 # lint enforces the documentation contract: every exported identifier in
 # the listed packages must carry a doc comment.
 lint:
-	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/servebench internal/textindex internal/graph internal/buildbench internal/searchbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest internal/mmapio
+	$(GO) run ./cmd/doccheck internal/search internal/rwmp internal/pathindex internal/cache internal/server internal/servebench internal/shard internal/textindex internal/graph internal/buildbench internal/searchbench internal/relational internal/jtt internal/pagerank internal/eval internal/baseline internal/datagen internal/difftest internal/mmapio
 
 # diff runs the differential correctness harness: every committed seed
 # generates a random workload and cross-checks branch-and-bound against
@@ -84,6 +84,14 @@ bench-json:
 	$(GO) run ./cmd/cirank-bench -mode load -out BENCH_load.json
 	$(GO) run ./cmd/cirank-bench -mode search -out BENCH_search.json
 	$(GO) run ./cmd/cirank-bench -mode serve -out BENCH_serve.json
+	$(GO) run ./cmd/cirank-bench -mode shard -out BENCH_shard.json
+
+# bench-shard refreshes only the scatter-gather trajectory: the shards x
+# workers x k grid through the sharded coordinator (stage shardN), with the
+# single-shard coordinator as the speedup_vs_shard1 reference. Rankings are
+# byte-identical at every shard count; the grid tracks the throughput side.
+bench-shard:
+	$(GO) run ./cmd/cirank-bench -mode shard -out BENCH_shard.json
 
 # bench-serve refreshes only the serving-stack trajectory: the three
 # tracked arms (result cache and coalescing off, full stack warmed, hot
@@ -108,11 +116,12 @@ bench-search:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkBuild$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench '^BenchmarkSearch$$' -benchtime 1x .
-	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch' ./internal/pathindex ./internal/textindex ./internal/graph .
+	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch|TestSharded' ./internal/pathindex ./internal/textindex ./internal/graph .
 	$(GO) run ./cmd/cirank-loadgen -duration 1s -clients 4 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -compare BENCH_build.json -scales 0.25 -workers 1,2 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode load -compare BENCH_load.json -scales 0.25 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode search -compare BENCH_search.json -scales 0.12 -benchtime 1x -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode serve -compare BENCH_serve.json -benchtime 1s -workers 4 -out /dev/null
+	-$(GO) run ./cmd/cirank-bench -mode shard -compare BENCH_shard.json -scales 0.25 -benchtime 1x -out /dev/null
 
 check: build vet lint race

@@ -202,6 +202,9 @@ type Engine struct {
 	// loaded from a snapshot report zero stage timings with Source set to
 	// how the data arrived (stream decode or mmap open).
 	buildStats BuildStats
+	// shard is non-nil when this engine serves one shard of a partitioned
+	// set (see ShardEngines); it records the engine's slice of the plan.
+	shard *shardMeta
 	// closer releases the snapshot mapping backing a zero-copy engine
 	// (nil otherwise); closeOnce makes Close idempotent.
 	closer    func() error
@@ -278,6 +281,14 @@ type SearchStats struct {
 	// Interrupted reports that the context expired or was cancelled
 	// mid-search; the results are the best found up to that point.
 	Interrupted bool
+	// FrontierBound is the best Eq. 3 upper bound left in the search
+	// frontier when the query stopped: every answer the search did not
+	// return either scores strictly below the k-th returned answer or is
+	// bounded by this value. 0 when the frontier was exhausted, +Inf when
+	// no finite bound exists (the query was interrupted or candidates were
+	// dropped at the expansion cap). Scatter-gather coordination uses it to
+	// certify a truncated shard's result against the merged global top-k.
+	FrontierBound float64
 	// Elapsed is the query's wall-clock time inside the engine.
 	Elapsed time.Duration
 }
@@ -318,28 +329,24 @@ func (e *Engine) SearchTerms(terms []string, k int, opts SearchOptions) ([]Resul
 	return res.Results, err
 }
 
-// SearchTermsContext runs a query given pre-split terms and explicit
-// options, bounded by ctx. A context that is already done on entry yields
-// an error wrapping ErrDeadline (and the context's own error) with no work
-// done; a context that expires mid-search stops the query promptly at its
-// next cancellation point and returns the best answers found so far with
-// Stats.Interrupted set and a nil error. When the context never fires the
-// ranking is byte-identical to SearchTerms for every Workers setting.
-// Invalid arguments are reported through the sentinel errors ErrBadK,
-// ErrEmptyQuery and ErrBadOptions.
-func (e *Engine) SearchTermsContext(ctx context.Context, terms []string, k int, opts SearchOptions) (SearchResult, error) {
+// searchOptions validates k and opts and resolves them into internal search
+// options: documented defaults filled, the engine's score cache attached, and
+// the star index selected when it exists and covers the diameter. Shared by
+// the single-engine query path and the per-shard scatter legs of
+// ShardedEngine, so both resolve a request identically.
+func (e *Engine) searchOptions(k int, opts SearchOptions) (search.Options, error) {
 	if k < 1 {
-		return SearchResult{}, fmt.Errorf("%w (got %d)", ErrBadK, k)
+		return search.Options{}, fmt.Errorf("%w (got %d)", ErrBadK, k)
 	}
 	workers := e.workers
 	switch {
 	case opts.Workers < 0:
-		return SearchResult{}, fmt.Errorf("%w: negative Workers %d", ErrBadOptions, opts.Workers)
+		return search.Options{}, fmt.Errorf("%w: negative Workers %d", ErrBadOptions, opts.Workers)
 	case opts.Workers > 0:
 		workers = opts.Workers
 	}
 	if opts.MaxExpansions < -1 {
-		return SearchResult{}, fmt.Errorf("%w: MaxExpansions %d (use -1 to remove the cap)", ErrBadOptions, opts.MaxExpansions)
+		return search.Options{}, fmt.Errorf("%w: MaxExpansions %d (use -1 to remove the cap)", ErrBadOptions, opts.MaxExpansions)
 	}
 	sopts := search.Options{
 		K:             k,
@@ -365,6 +372,23 @@ func (e *Engine) SearchTermsContext(ctx context.Context, terms []string, k int, 
 			sopts.Index = e.starIdx
 		}
 	}
+	return sopts, nil
+}
+
+// SearchTermsContext runs a query given pre-split terms and explicit
+// options, bounded by ctx. A context that is already done on entry yields
+// an error wrapping ErrDeadline (and the context's own error) with no work
+// done; a context that expires mid-search stops the query promptly at its
+// next cancellation point and returns the best answers found so far with
+// Stats.Interrupted set and a nil error. When the context never fires the
+// ranking is byte-identical to SearchTerms for every Workers setting.
+// Invalid arguments are reported through the sentinel errors ErrBadK,
+// ErrEmptyQuery and ErrBadOptions.
+func (e *Engine) SearchTermsContext(ctx context.Context, terms []string, k int, opts SearchOptions) (SearchResult, error) {
+	sopts, err := e.searchOptions(k, opts)
+	if err != nil {
+		return SearchResult{}, err
+	}
 	start := time.Now()
 	answers, stats, err := e.searcher.TopKContext(ctx, terms, sopts)
 	if err != nil {
@@ -373,12 +397,13 @@ func (e *Engine) SearchTermsContext(ctx context.Context, terms []string, k int, 
 	res := SearchResult{
 		Results: make([]Result, len(answers)),
 		Stats: SearchStats{
-			Expanded:    stats.Expanded,
-			Generated:   stats.Generated,
-			Answers:     stats.Answers,
-			Truncated:   stats.Truncated,
-			Interrupted: stats.Interrupted,
-			Elapsed:     time.Since(start),
+			Expanded:      stats.Expanded,
+			Generated:     stats.Generated,
+			Answers:       stats.Answers,
+			Truncated:     stats.Truncated,
+			Interrupted:   stats.Interrupted,
+			FrontierBound: stats.FrontierBound,
+			Elapsed:       time.Since(start),
 		},
 	}
 	for i, a := range answers {

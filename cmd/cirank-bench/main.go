@@ -12,6 +12,7 @@
 //	cirank-bench -mode load -out BENCH_load.json
 //	cirank-bench -mode search -out BENCH_search.json
 //	cirank-bench -mode serve -out BENCH_serve.json
+//	cirank-bench -mode shard -out BENCH_shard.json
 //
 // -mode load measures engine startup instead of the build grid: for each
 // scale it times the cold public-API build, a stream snapshot load
@@ -28,6 +29,16 @@
 // -benchtime sets the measured budget per cell ("4x" = four stream passes,
 // or a duration); -seed is the dataset seed and -queryseed the workload
 // seed, both defaulting to the dataset's proven pair.
+//
+// -mode shard measures the sharded scatter-gather coordinator: for each
+// scale it partitions the engine at every -shards count (through
+// cirank.ShardEngines + NewSharded, radius 2) and replays the search-mode
+// stream through the coordinator at every workers × k cell, writing
+// BENCH_shard.json. The speedup_vs_shard1 column is the point: throughput
+// of N partitioned engines answering concurrently over the single-shard
+// coordinator at the same workers and k. Rankings are byte-identical at
+// every shard count (certified by the difftest suite), so this grid only
+// tracks throughput.
 //
 // -mode serve measures the HTTP serving stack (internal/server) instead of
 // the engine: internal/servebench replays the same skewed stream through a
@@ -77,6 +88,7 @@ const (
 	reportSchema = "cirank/bench-build/v1"
 	loadSchema   = "cirank/bench-load/v1"
 	searchSchema = "cirank/bench-search/v1"
+	shardSchema  = "cirank/bench-shard/v1"
 )
 
 // benchResult is one grid cell of the report.
@@ -112,6 +124,10 @@ type benchResult struct {
 	// pre-rewrite engine's time at the same scale and k divided by this
 	// cell's time.
 	SpeedupVsNaiveAlloc float64 `json:"speedup_vs_naive_alloc,omitempty"`
+	// SpeedupVsShard1, set on shard-mode cells, is the single-shard
+	// coordinator's time at the same scale, workers and k divided by this
+	// cell's time — the scatter-gather scaling headline.
+	SpeedupVsShard1 float64 `json:"speedup_vs_shard1,omitempty"`
 }
 
 // report is the BENCH_build.json document.
@@ -137,8 +153,9 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generation seed")
 		compare   = flag.String("compare", "", "baseline report to diff against (exit 1 past -tolerance)")
 		tolerance = flag.Float64("tolerance", 3.0, "max allowed per-cell slowdown ratio in -compare mode")
-		mode      = flag.String("mode", "build", "what to measure: build (stage grid), load (cold build vs stream load vs mmap open) or search (online top-k latency)")
-		ks        = flag.String("ks", "5,10", "comma-separated answer counts k (search mode)")
+		mode      = flag.String("mode", "build", "what to measure: build (stage grid), load (cold build vs stream load vs mmap open), search (online top-k latency) or shard (scatter-gather scaling)")
+		ks        = flag.String("ks", "5,10", "comma-separated answer counts k (search and shard modes)")
+		shards    = flag.String("shards", "1,2,4", "comma-separated shard counts (shard mode)")
 		querySeed = flag.Int64("queryseed", -1, "workload seed (search mode; -1 picks the dataset's proven pair)")
 		benchtime = flag.String("benchtime", "4x", "measured budget per search cell: N stream passes (\"4x\") or a duration (\"2s\")")
 	)
@@ -153,18 +170,23 @@ func main() {
 		schema = searchSchema
 	case "serve":
 		schema = servebench.Schema
+	case "shard":
+		schema = shardSchema
 	default:
-		fail(fmt.Errorf("bad -mode %q: want build, load, search or serve", *mode))
+		fail(fmt.Errorf("bad -mode %q: want build, load, search, serve or shard", *mode))
 	}
 
-	// The search and serve grids have their own proven defaults: smaller
-	// scales (online search visits a bounded neighbourhood, so the axis is
-	// posting density, not graph size), fewer workers, and the dataset's
-	// seed pair known to yield a full AOL-style workload. Serve mode
-	// reinterprets -workers as the closed-loop client count, -benchtime as
-	// the measured window per arm, and takes one k. Explicit flags always
-	// win.
-	if *mode == "search" || *mode == "serve" {
+	// The search, serve and shard grids have their own proven defaults:
+	// smaller scales (online search visits a bounded neighbourhood, so the
+	// axis is posting density, not graph size), fewer workers, and the
+	// dataset's seed pair known to yield a full AOL-style workload. Serve
+	// mode reinterprets -workers as the closed-loop client count,
+	// -benchtime as the measured window per arm, and takes one k. Shard
+	// mode defaults to a small scale plus a larger one — partitioning only
+	// has something to divide when the corpus outgrows a single frontier,
+	// but CI smoke needs a cheap matching cell — and per-shard workers 1
+	// and 2. Explicit flags always win.
+	if *mode == "search" || *mode == "serve" || *mode == "shard" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		if !set["scales"] {
@@ -172,11 +194,17 @@ func main() {
 			if *mode == "serve" {
 				*scales = "0.25"
 			}
+			if *mode == "shard" {
+				*scales = "0.25,2"
+			}
 		}
 		if !set["workers"] {
 			*workers = "1,2,4"
 			if *mode == "serve" {
 				*workers = "8"
+			}
+			if *mode == "shard" {
+				*workers = "1,2"
 			}
 		}
 		if *mode == "serve" {
@@ -186,6 +214,9 @@ func main() {
 			if !set["benchtime"] {
 				*benchtime = "2s"
 			}
+		}
+		if *mode == "shard" && !set["benchtime"] {
+			*benchtime = "2x"
 		}
 		defData, defQuery := searchbench.DefaultSeeds(*dataset)
 		if !set["seed"] {
@@ -218,6 +249,10 @@ func main() {
 	kList, err := parseInts(*ks)
 	if err != nil {
 		fail(fmt.Errorf("bad -ks: %w", err))
+	}
+	shardList, err := parseInts(*shards)
+	if err != nil {
+		fail(fmt.Errorf("bad -shards: %w", err))
 	}
 
 	if *mode == "serve" {
@@ -257,6 +292,16 @@ func main() {
 			"live engine against the frozen pre-rewrite per-candidate allocator at the same " +
 			"scale and k, and shows on any machine; speedup_vs_w1 needs gomaxprocs>1."
 	}
+	if *mode == "shard" {
+		rep.QuerySeed = *querySeed
+		rep.Note = "Sharded scatter-gather coordinator over the skewed AOL-style query stream; " +
+			"stage shardN is the coordinator over N radius-2 partitions (shard1 included, so " +
+			"the coordinator overhead is in every cell). speedup_vs_shard1 compares against " +
+			"the single-shard coordinator at the same workers and k; the scatter runs shards " +
+			"concurrently, so exceeding 1 needs gomaxprocs>1 and halos smaller than the " +
+			"corpus (the run log reports each set's halo duplication factor). Rankings are " +
+			"byte-identical at every shard count."
+	}
 
 	for _, scale := range scaleList {
 		if *mode == "load" {
@@ -269,6 +314,14 @@ func main() {
 		}
 		if *mode == "search" {
 			cells, err := runSearchScale(*dataset, scale, *seed, *querySeed, workerList, kList, *benchtime)
+			if err != nil {
+				fail(err)
+			}
+			rep.Results = append(rep.Results, cells...)
+			continue
+		}
+		if *mode == "shard" {
+			cells, err := runShardScale(*dataset, scale, *seed, *querySeed, shardList, workerList, kList, *benchtime)
 			if err != nil {
 				fail(err)
 			}

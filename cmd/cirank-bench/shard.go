@@ -1,0 +1,135 @@
+package main
+
+// Shard mode: -mode shard measures the sharded scatter-gather coordinator
+// (cirank.ShardedEngine) against the same skewed query stream as search
+// mode, across a shards × workers × k grid, and writes BENCH_shard.json.
+// Every shard count runs the exact same coordinator path — the shards=1
+// cells go through ShardEngines + NewSharded too — so the speedup_vs_shard1
+// column isolates what partitioning buys (smaller per-shard frontiers
+// evaluated concurrently) from what it costs (the halo overlap and the
+// bound-merge). Rankings are byte-identical at every shard count, which the
+// difftest suite certifies; this grid only tracks the throughput side.
+
+import (
+	"fmt"
+	"os"
+
+	"cirank"
+	"cirank/internal/searchbench"
+)
+
+// shardRadius is the halo radius the shard grid partitions with. A radius-r
+// halo certifies answer diameters up to 2r, so radius 2 exactly covers the
+// benchmark's searchDiameter of 4 while keeping the halo — and with it the
+// per-shard duplicated work — as small as the exactness horizon allows.
+const shardRadius = 2
+
+// runShardScale builds one engine for the scale, partitions it at every
+// requested shard count, and replays the stream through the coordinator at
+// every workers × k cell.
+func runShardScale(dataset string, scale float64, dataSeed, querySeed int64, shardList, workerList, kList []int, benchtime string) ([]benchResult, error) {
+	// The workload supplies the query stream; the engine under test is a
+	// separate public-API build over the same generated dataset (the
+	// coordinator needs a *cirank.Engine, not the bare scoring model).
+	w, err := searchbench.Load(dataset, scale, dataSeed, querySeed)
+	if err != nil {
+		return nil, err
+	}
+	ds, b, err := generate(dataset, scale, dataSeed)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Replay(b.InsertEntity, b.Relate); err != nil {
+		return nil, err
+	}
+	eng, err := b.Build(cirank.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "cirank-bench: %s scale %g: %d nodes, %d edges, %d queries (stream %d)\n",
+		dataset, scale, eng.NumNodes(), eng.NumEdges(), len(w.Queries), len(w.Stream))
+
+	var out []benchResult
+	cell := func(stage string, workers, k int, run func(i int) error) error {
+		m, err := measureStream(run, len(w.Stream), benchtime)
+		if err != nil {
+			return fmt.Errorf("stage=%s scale=%g workers=%d k=%d: %w", stage, scale, workers, k, err)
+		}
+		out = append(out, benchResult{
+			Stage:          stage,
+			Scale:          scale,
+			Nodes:          eng.NumNodes(),
+			Edges:          eng.NumEdges(),
+			Workers:        workers,
+			K:              k,
+			N:              m.n,
+			NsPerOp:        m.meanNs,
+			P50Ns:          m.p50Ns,
+			P99Ns:          m.p99Ns,
+			QPS:            round2(m.qps),
+			AllocsPerQuery: round2(m.allocsPerQuery),
+		})
+		fmt.Fprintf(os.Stderr, "cirank-bench:   stage=%s workers=%d k=%d: p50 %d ns, p99 %d ns, %.0f q/s, %.0f allocs/query (%d queries)\n",
+			stage, workers, k, m.p50Ns, m.p99Ns, m.qps, m.allocsPerQuery, m.n)
+		return nil
+	}
+
+	for _, count := range shardList {
+		engines, err := cirank.ShardEngines(eng, count, shardRadius)
+		if err != nil {
+			return nil, err
+		}
+		se, err := cirank.NewSharded(engines)
+		if err != nil {
+			return nil, err
+		}
+		haloEdges := 0
+		for _, sh := range engines {
+			haloEdges += sh.NumEdges()
+		}
+		fmt.Fprintf(os.Stderr, "cirank-bench: shards=%d radius=%d: %d halo edges (%.2fx corpus)\n",
+			count, shardRadius, haloEdges, float64(haloEdges)/float64(eng.NumEdges()))
+		for _, k := range kList {
+			for _, workers := range workerList {
+				opts := cirank.SearchOptions{Diameter: searchDiameter, Workers: workers}
+				err := cell(fmt.Sprintf("shard%d", count), workers, k, func(i int) error {
+					_, err := se.SearchTerms(w.Terms(i), k, opts)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Derived columns: the workers=1 reference per stage and k, and the
+	// single-shard coordinator reference per workers and k — the headline
+	// scatter-gather scaling axis.
+	type ref struct {
+		stage string
+		k     int
+	}
+	type shardRef struct {
+		workers, k int
+	}
+	w1 := map[ref]int64{}
+	shard1 := map[shardRef]int64{}
+	for _, r := range out {
+		if r.Workers == 1 {
+			w1[ref{r.Stage, r.K}] = r.NsPerOp
+		}
+		if r.Stage == "shard1" {
+			shard1[shardRef{r.Workers, r.K}] = r.NsPerOp
+		}
+	}
+	for i := range out {
+		if base := w1[ref{out[i].Stage, out[i].K}]; base > 0 && out[i].NsPerOp > 0 {
+			out[i].SpeedupVsW1 = round2(float64(base) / float64(out[i].NsPerOp))
+		}
+		if base := shard1[shardRef{out[i].Workers, out[i].K}]; base > 0 && out[i].NsPerOp > 0 {
+			out[i].SpeedupVsShard1 = round2(float64(base) / float64(out[i].NsPerOp))
+		}
+	}
+	return out, nil
+}

@@ -56,6 +56,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine worker goroutines per query (0 = GOMAXPROCS)")
 		snapshot = flag.String("snapshot", "", "serve from this snapshot file (mmap-opened; enables POST /admin/reload) instead of generating a dataset")
 		saveSnap = flag.String("save-snapshot", "", "build the dataset engine, write a snapshot to this file, and exit")
+		shards   = flag.Int("shards", 1, "partition the engine into this many shards behind the scatter-gather coordinator (1 = single engine)")
+		radius   = flag.Int("shard-radius", cirank.DefaultShardRadius, "halo radius for -shards partitions; answers stay exact up to diameter 2*radius")
 
 		resultCache = flag.Int("result-cache", 0, "result-cache entries per generation (0 = default 1024, -1 = off)")
 		coalesce    = flag.Bool("coalesce", true, "coalesce identical in-flight queries (singleflight)")
@@ -64,10 +66,26 @@ func main() {
 	)
 	flag.Parse()
 
+	if *shards < 1 {
+		fail(fmt.Errorf("bad -shards %d: want at least 1", *shards))
+	}
+
 	if *saveSnap != "" {
 		eng, err := buildEngine(*dataset, *scale, *seed, *workers)
 		if err != nil {
 			fail(err)
+		}
+		if *shards > 1 {
+			engines, err := cirank.ShardEngines(eng, *shards, *radius)
+			if err != nil {
+				fail(err)
+			}
+			if err := cirank.SaveShardSet(engines, *saveSnap); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "cirank-server: shard set of %d nodes, %d edges written to %s.shard0..shard%d\n",
+				eng.NumNodes(), eng.NumEdges(), *saveSnap, *shards-1)
+			return
 		}
 		if err := saveSnapshot(eng, *saveSnap); err != nil {
 			fail(err)
@@ -77,23 +95,7 @@ func main() {
 		return
 	}
 
-	var (
-		eng *cirank.Engine
-		err error
-	)
-	if *snapshot != "" {
-		eng, err = cirank.Open(*snapshot)
-	} else {
-		eng, err = buildEngine(*dataset, *scale, *seed, *workers)
-	}
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprintf(os.Stderr, "cirank-server: engine ready: %d nodes, %d edges\n", eng.NumNodes(), eng.NumEdges())
-	fmt.Fprintf(os.Stderr, "cirank-server: build: %v\n", eng.BuildStats())
-
-	srv, err := server.New(server.Config{
-		Engine:          eng,
+	cfg := server.Config{
 		DefaultK:        *k,
 		MaxK:            *maxK,
 		DefaultTimeout:  *timeout,
@@ -105,7 +107,54 @@ func main() {
 		CoalesceEnabled: server.Bool(*coalesce),
 		AdmissionBudget: *admission,
 		MaxBatch:        *maxBatch,
-	})
+	}
+	if *shards > 1 {
+		// Sharded serving: open the set written by -save-snapshot -shards N,
+		// or partition a freshly built engine in place. The snapshot path
+		// stays the set's base path, so /v1/admin/reload (whole set or
+		// ?shard=i) finds the members.
+		if *snapshot != "" {
+			se, err := cirank.OpenShardSet(*snapshot)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Shards = se.Engines()
+		} else {
+			eng, err := buildEngine(*dataset, *scale, *seed, *workers)
+			if err != nil {
+				fail(err)
+			}
+			engines, err := cirank.ShardEngines(eng, *shards, *radius)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Shards = engines
+		}
+		nodes, edges, setRadius := 0, 0, *radius
+		if info, ok := cfg.Shards[0].ShardInfo(); ok {
+			nodes, edges, setRadius = info.TotalNodes, info.TotalEdges, info.Radius
+		}
+		fmt.Fprintf(os.Stderr, "cirank-server: sharded engine ready: %d shards (radius %d), %d nodes, %d edges\n",
+			len(cfg.Shards), setRadius, nodes, edges)
+	} else {
+		var (
+			eng *cirank.Engine
+			err error
+		)
+		if *snapshot != "" {
+			eng, err = cirank.Open(*snapshot)
+		} else {
+			eng, err = buildEngine(*dataset, *scale, *seed, *workers)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cirank-server: engine ready: %d nodes, %d edges\n", eng.NumNodes(), eng.NumEdges())
+		fmt.Fprintf(os.Stderr, "cirank-server: build: %v\n", eng.BuildStats())
+		cfg.Engine = eng
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		fail(err)
 	}

@@ -43,6 +43,9 @@ func CheckWorkload(w *Workload) error {
 				w.Seed, qi, q.Terms, q.K, q.Diameter, err)
 		}
 	}
+	if err := checkSharded(w); err != nil {
+		return fmt.Errorf("seed %d: %w", w.Seed, err)
+	}
 	return nil
 }
 

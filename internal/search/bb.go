@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 
 	"cirank/internal/graph"
@@ -77,6 +78,11 @@ type bbState struct {
 	fillFn func(w, i int) // hoisted fill closure, one per query
 	stats  Stats
 	seq    int
+	// lost latches when candidate trees were dropped before evaluation (the
+	// Generated-cap backstop discards whole merge cascades), so the frontier
+	// no longer bounds the unexplored answer space and FrontierBound must
+	// report +Inf.
+	lost bool
 }
 
 // newBBState wires a branch-and-bound state over a prepared scratch. The
@@ -219,6 +225,17 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 		sc.grown = grown
 		st.process(grown)
 	}
+	// The frontier bound certifies what the returned list misses: with
+	// trees lost (Generated cap) or the run interrupted, the frontier no
+	// longer covers the unexplored answer space, so nothing finite bounds
+	// it; otherwise every undiscovered answer grows out of some queued
+	// candidate, whose Eq. 3 bound dominates it (Lemma 1).
+	switch {
+	case st.lost || st.stats.Interrupted:
+		st.stats.FrontierBound = math.Inf(1)
+	case st.pq.Len() > 0:
+		st.stats.FrontierBound = (*st.pq)[0].ub
+	}
 	// Detach before the deferred putScratch invalidates the arena the
 	// answer trees live in.
 	return st.top.resultsDetached(), st.stats, nil
@@ -264,6 +281,7 @@ func (st *bbState) process(trees []*jtt.Tree) {
 			// through many merges.
 			if st.opts.MaxExpansions > 0 && st.stats.Generated >= 40*st.opts.MaxExpansions {
 				st.stats.Truncated = true
+				st.lost = true
 				break
 			}
 			// Build the dedup key (canonical key + root tag) in the reused

@@ -114,6 +114,18 @@ type Stats struct {
 	// cancelled mid-search; the returned answers are the best found up to
 	// that point and carry no optimality guarantee.
 	Interrupted bool
+	// FrontierBound is the best Eq. 3 upper bound left in the
+	// branch-and-bound frontier when the search stopped. It certifies the
+	// returned list against everything unexplored: every valid answer not
+	// in the list either scores strictly below the k-th returned answer
+	// (its whole build lineage was commit-pruned against a full top-k) or
+	// grows out of a still-queued candidate and is bounded by
+	// FrontierBound (Lemma 1). 0 when the frontier was exhausted, +Inf
+	// when no finite bound exists — the run was interrupted, or merge
+	// cascades were dropped at the Generated cap. Scatter-gather
+	// coordinators use it to decide whether a truncated shard could still
+	// displace the merged global top-k.
+	FrontierBound float64
 }
 
 // Partial reports whether the search stopped before exhausting its frontier

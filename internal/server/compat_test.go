@@ -25,7 +25,8 @@ import (
 // byte-for-byte with the documented body, after canonicalizing JSON field
 // order and zeroing the volatile elapsed_ms timing field. fences=2 marks a
 // POST whose first fenced block is the request body; "deprecated" asserts
-// the Deprecation/Link headers; "snapshot" wires /v1/admin/reload up.
+// the Deprecation/Link headers; "snapshot" wires /v1/admin/reload up;
+// "sharded" serves the fixture as a two-shard scatter-gather set.
 
 type compatCase struct {
 	name       string
@@ -34,6 +35,7 @@ type compatCase struct {
 	status     int
 	deprecated bool
 	snapshot   bool
+	sharded    bool
 	reqBody    string
 	wantBody   string
 }
@@ -91,6 +93,8 @@ func parseCompatDoc(t *testing.T) []compatCase {
 					c.deprecated = true
 				case flag == "snapshot":
 					c.snapshot = true
+				case flag == "sharded":
+					c.sharded = true
 				case strings.HasPrefix(flag, "fences="):
 					fencesWanted, _ = strconv.Atoi(strings.TrimPrefix(flag, "fences="))
 				default:
@@ -135,8 +139,9 @@ func canonicalJSON(t *testing.T, raw []byte) []byte {
 }
 
 // compatFixtureServer builds the documented fixture: the four-node
-// bibliography, optionally served from a snapshot with reload wired up.
-func compatFixtureServer(t *testing.T, snapshot bool) string {
+// bibliography, optionally served from a snapshot with reload wired up, or
+// partitioned into the documented two-shard scatter-gather set.
+func compatFixtureServer(t *testing.T, snapshot, sharded bool) string {
 	t.Helper()
 	cfg := Config{Engine: smallEngine(t)}
 	if snapshot {
@@ -147,6 +152,14 @@ func compatFixtureServer(t *testing.T, snapshot bool) string {
 		}
 		cfg.Engine = opened
 		cfg.SnapshotPath = path
+	}
+	if sharded {
+		engines, err := cirank.ShardEngines(smallEngine(t), 2, cirank.DefaultShardRadius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Engine = nil
+		cfg.Shards = engines
 	}
 	_, ts := newTestServer(t, cfg)
 	return ts.URL
@@ -162,7 +175,7 @@ func TestAPICompat(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			url := compatFixtureServer(t, c.snapshot)
+			url := compatFixtureServer(t, c.snapshot, c.sharded)
 			var resp *http.Response
 			var err error
 			switch c.method {

@@ -80,19 +80,30 @@ type scrapeView struct {
 	admitted     int64
 	admRejected  int64
 	inflightCost int64
+	// Per-shard gauges, emitted only on a sharded server.
+	shardGens   []uint64
+	shardLeases []int64
 }
 
 // scrape assembles the view for one /metrics exposition.
 func (s *Server) scrape(cache cirank.CacheStats) scrapeView {
 	v := scrapeView{
 		engineCache:  cache,
-		generation:   s.provider.Generation(),
+		generation:   s.generation(),
 		admitted:     s.adm.admitted.Load(),
 		admRejected:  s.adm.rejected.Load(),
 		inflightCost: s.adm.cost.Load(),
 	}
 	if s.cache != nil {
 		v.resultHits, v.resultMisses = s.cache.stats()
+	}
+	if s.sharded() {
+		v.shardGens = make([]uint64, len(s.providers))
+		v.shardLeases = make([]int64, len(s.providers))
+		for i, p := range s.providers {
+			v.shardGens[i] = p.Generation()
+			v.shardLeases[i] = p.Leases()
+		}
 	}
 	return v
 }
@@ -148,7 +159,17 @@ func (m *metrics) writeTo(w io.Writer, v scrapeView) {
 		`{status="ok"}`, m.reloadsOK.Load(),
 		`{status="error"}`, m.reloadsFailed.Load(),
 	)
-	gauge("cirank_engine_generation", "Current engine generation (1 + successful reloads).", int64(v.generation))
+	gauge("cirank_engine_generation", "Current engine generation (1 + successful reloads; the composite generation on a sharded server).", int64(v.generation))
+	if len(v.shardGens) > 0 {
+		fmt.Fprintf(w, "# HELP cirank_shard_generation Per-shard provider generation.\n# TYPE cirank_shard_generation gauge\n")
+		for i, g := range v.shardGens {
+			fmt.Fprintf(w, "cirank_shard_generation{shard=\"%d\"} %d\n", i, g)
+		}
+		fmt.Fprintf(w, "# HELP cirank_shard_leases Outstanding engine leases per shard.\n# TYPE cirank_shard_leases gauge\n")
+		for i, n := range v.shardLeases {
+			fmt.Fprintf(w, "cirank_shard_leases{shard=\"%d\"} %d\n", i, n)
+		}
+	}
 	gauge("cirank_inflight_queries", "Queries currently evaluating on the engine.", m.inflight.Load())
 	gauge("cirank_inflight_cost", "Total estimated cost of queries currently evaluating (admission budget consumption).", v.inflightCost)
 	fmt.Fprintf(w, "# HELP cirank_query_duration_seconds Engine latency of successful search queries.\n")

@@ -99,6 +99,21 @@ func (p *Provider) Acquire() *Lease {
 // Generation returns the current engine generation number.
 func (p *Provider) Generation() uint64 { return p.generation.Load() }
 
+// Leases reports how many leases are outstanding on the current engine,
+// excluding the provider's own baseline reference — 0 on an idle provider,
+// 0 after Close. It is a diagnostic gauge (healthz, metrics): the count is
+// exact only for the instant of the load.
+func (p *Provider) Leases() int64 {
+	h := p.cur.Load()
+	if h == nil {
+		return 0
+	}
+	if n := h.refs.Load() - 1; n > 0 {
+		return n
+	}
+	return 0
+}
+
 // Swap atomically installs e as the current engine and retires the previous
 // one. It returns the new generation number and a wait function: calling it
 // blocks until every lease on the previous engine has been released and the

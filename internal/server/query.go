@@ -61,16 +61,23 @@ const (
 var errOverCapacity = errors.New("server: admission over capacity")
 
 // queryKey canonicalizes one query into the coalescing/result-cache key.
-// The engine generation leads the key: results computed against generation g
-// are only reachable by requests that themselves leased generation g, which
-// is what makes a hot reload an atomic invalidation — the new generation's
-// requests form different keys. Every option that can change the observable
-// response participates; terms keep their query order (the engine's ranking
-// is order-stable, so "a b" and "b a" stay conservative, separate keys).
-func queryKey(generation uint64, p searchParams) string {
+// The generation vector — one generation per leased shard, a single element
+// on an unsharded server — leads the key: results computed against a vector
+// are only reachable by requests that themselves leased exactly that vector,
+// which is what makes a hot reload of any shard an atomic invalidation — the
+// new vector's requests form different keys. Every option that can change
+// the observable response participates; terms keep their query order (the
+// engine's ranking is order-stable, so "a b" and "b a" stay conservative,
+// separate keys).
+func queryKey(gens []uint64, p searchParams) string {
 	var b strings.Builder
 	b.Grow(64)
-	b.WriteString(strconv.FormatUint(generation, 10))
+	for i, g := range gens {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(g, 10))
+	}
 	fmt.Fprintf(&b, "\x1fk=%d\x1fd=%d\x1fx=%d\x1fw=%d\x1fm=%t\x1ft=%d",
 		p.k, p.opts.Diameter, p.opts.MaxExpansions, p.opts.Workers,
 		p.opts.ExtendedMerge, int64(p.timeout))
@@ -93,16 +100,18 @@ func queryKey(generation uint64, p searchParams) string {
 // requests may be riding the same flight (the evaluation carries its own
 // deadline from the query's timeout parameter).
 func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, string, *apiError) {
-	// Borrow the current engine for exactly this request. The lease pins the
-	// generation: the key derived from it can only ever hit results computed
-	// against the engine this request actually sees.
-	lease := s.provider.Acquire()
-	if lease == nil {
-		return queryOutcome{}, "", &apiError{status: http.StatusServiceUnavailable, code: codeUnavailable, msg: "server is shut down"}
+	// Borrow the current engine — or the full shard set — for exactly this
+	// request. The leases pin the generation vector: the key derived from it
+	// can only ever hit results computed against the engines this request
+	// actually sees.
+	ql, apiErr := s.acquire()
+	if apiErr != nil {
+		return queryOutcome{}, "", apiErr
 	}
-	defer lease.Release()
-	gen := lease.Generation()
-	key := queryKey(gen, p)
+	defer ql.Release()
+	gens := ql.generations()
+	gen := compositeGeneration(gens)
+	key := queryKey(gens, p)
 
 	// Result cache first: a hit costs no admission budget and no engine
 	// work, which is exactly why it sits before load shedding — a saturated
@@ -116,7 +125,7 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 	eval := func() (queryOutcome, error) {
 		// Cost-based admission, inside the flight: a thundering herd on one
 		// hot query charges the budget once, through its leader.
-		cost := queryCost(lease.Engine(), p.terms)
+		cost := queryCost(ql.engine, p.terms)
 		if !s.adm.tryAcquire(cost) {
 			return queryOutcome{}, errOverCapacity
 		}
@@ -135,7 +144,7 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 		}
 		ectx, cancel := context.WithTimeout(base, p.timeout)
 		defer cancel()
-		res, err := lease.Engine().SearchTermsContext(ectx, p.terms, p.k, p.opts)
+		res, err := ql.engine.SearchTermsContext(ectx, p.terms, p.k, p.opts)
 		if err != nil {
 			return queryOutcome{}, err
 		}

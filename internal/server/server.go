@@ -35,6 +35,14 @@
 // continue against the engine they started with, a result computed against
 // generation g can only ever reach a request that leased generation g, and
 // no request ever fails because a reload happened mid-flight.
+//
+// The same surface can front a partitioned corpus: Config.Shards serves a
+// complete shard set (cirank.ShardEngines, cirank.OpenShardSet) through a
+// per-request scatter-gather coordinator, with one provider per shard. Each
+// shard hot-reloads independently (POST /v1/admin/reload?shard=i), the wire
+// generation becomes the composite of the per-shard generations, and cache
+// and coalescing keys carry the full generation vector — the single-engine
+// key discipline, per shard.
 package server
 
 import (
@@ -55,8 +63,16 @@ import (
 // a sensible serving default; invalid values are rejected at New with
 // errors wrapping ErrBadConfig.
 type Config struct {
-	// Engine is the query-ready engine to serve. Required.
+	// Engine is the query-ready engine to serve. Exactly one of Engine and
+	// Shards must be set.
 	Engine *cirank.Engine
+	// Shards, when non-empty, serves a partitioned engine set behind one
+	// scatter-gather coordinator instead of a single engine: element i must
+	// be shard i of a complete set, as produced by cirank.ShardEngines or
+	// cirank.OpenShardSet (New validates the set via cirank.NewSharded).
+	// Each shard gets its own Provider and hot-reloads independently; the
+	// wire generation becomes the composite of the per-shard generations.
+	Shards []*cirank.Engine
 	// DefaultK is the answer count when the request has no k parameter
 	// (default 5).
 	DefaultK int
@@ -80,7 +96,9 @@ type Config struct {
 	// SnapshotPath, when non-empty, enables POST /v1/admin/reload (and its
 	// legacy alias): the handler opens this snapshot file with cirank.Open
 	// and hot-swaps the resulting engine in, discarding the result cache.
-	// Empty leaves the endpoints unregistered (404).
+	// Empty leaves the endpoints unregistered (404). On a sharded server it
+	// is the shard-set base path (see cirank.SaveShardSet): a reload opens
+	// every per-shard file, or just one when the request selects ?shard=i.
 	SnapshotPath string
 	// ReloadDrainTimeout bounds how long a reload waits for queries
 	// borrowed from the replaced engine to finish before answering (default
@@ -126,8 +144,11 @@ func Bool(v bool) *bool { return &v }
 // withDefaults validates the config and fills the zero fields. Every
 // failure wraps ErrBadConfig.
 func (c Config) withDefaults() (Config, error) {
-	if c.Engine == nil {
-		return c, fmt.Errorf("%w: Engine is required", ErrBadConfig)
+	switch {
+	case c.Engine == nil && len(c.Shards) == 0:
+		return c, fmt.Errorf("%w: Engine or Shards is required", ErrBadConfig)
+	case c.Engine != nil && len(c.Shards) > 0:
+		return c, fmt.Errorf("%w: Engine and Shards are mutually exclusive", ErrBadConfig)
 	}
 	if c.DefaultK == 0 {
 		c.DefaultK = 5
@@ -183,6 +204,22 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxExpansions < -1 {
 		return c, fmt.Errorf("%w: MaxExpansions %d (use -1 to remove the cap)", ErrBadConfig, c.MaxExpansions)
 	}
+	if len(c.Shards) > 0 {
+		// Reject a broken set at startup instead of on the first query; the
+		// validated coordinator is discarded, requests assemble their own
+		// over the engines they lease.
+		se, err := cirank.NewSharded(c.Shards)
+		if err != nil {
+			return c, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		// The exactness horizon: a shard set with halo radius r certifies
+		// answer diameters up to 2r, so a diameter limit beyond it would turn
+		// every default-diameter query into a 400.
+		if c.MaxDiameter > 2*se.Radius() {
+			return c, fmt.Errorf("%w: MaxDiameter %d exceeds the shard set's exactness horizon %d (halo radius %d)",
+				ErrBadConfig, c.MaxDiameter, 2*se.Radius(), se.Radius())
+		}
+	}
 	return c, nil
 }
 
@@ -191,9 +228,10 @@ func (c Config) withDefaults() (Config, error) {
 // http.Server.
 type Server struct {
 	cfg Config
-	// provider hands out per-request engine leases and owns the swap
-	// semantics; the server never stores a bare engine.
-	provider *Provider
+	// providers hand out per-request engine leases and own the swap
+	// semantics; the server never stores a bare engine. One provider on an
+	// unsharded server, one per shard otherwise (see shardset.go).
+	providers []*Provider
 	// reloadMu serializes reloads: loading a snapshot is expensive and
 	// concurrent reloads would race to be "the" new generation.
 	reloadMu sync.Mutex
@@ -208,18 +246,26 @@ type Server struct {
 	mux      *http.ServeMux
 }
 
-// New validates the config and assembles a Server. The server's Provider
-// takes over the engine's lifecycle: it is closed when swapped out by a
-// reload (after its in-flight queries drain) or by Server.Close.
+// New validates the config and assembles a Server. The server's Providers
+// take over the engines' lifecycles: each engine is closed when swapped out
+// by a reload (after its in-flight queries drain) or by Server.Close.
 func New(cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	engines := cfg.Shards
+	if len(engines) == 0 {
+		engines = []*cirank.Engine{cfg.Engine}
+	}
+	providers := make([]*Provider, len(engines))
+	for i, e := range engines {
+		providers[i] = NewProvider(e)
+	}
 	s := &Server{
-		cfg:      cfg,
-		provider: NewProvider(cfg.Engine),
-		coalesce: *cfg.CoalesceEnabled,
+		cfg:       cfg,
+		providers: providers,
+		coalesce:  *cfg.CoalesceEnabled,
 		adm: admission{
 			budget:        cfg.AdmissionBudget,
 			maxConcurrent: int64(cfg.MaxInFlight),
@@ -242,13 +288,25 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Provider returns the server's engine provider, for tests and embedders
-// that need to observe or drive engine swaps directly.
-func (s *Server) Provider() *Provider { return s.provider }
+// Provider returns the server's engine provider — the shard-0 provider on a
+// sharded server — for tests and embedders that need to observe or drive
+// engine swaps directly.
+func (s *Server) Provider() *Provider { return s.providers[0] }
 
-// Close retires the current engine: in-flight queries finish against it,
-// new ones get 503, and the engine is closed once its leases drain.
-func (s *Server) Close() { s.provider.Close() }
+// NumShards reports how many partitions the server serves (1 when unsharded).
+func (s *Server) NumShards() int { return len(s.providers) }
+
+// ShardProvider returns shard i's provider.
+func (s *Server) ShardProvider(i int) *Provider { return s.providers[i] }
+
+// Close retires every current engine: in-flight queries finish against the
+// generations they leased, new ones get 503, and each engine is closed once
+// its leases drain.
+func (s *Server) Close() {
+	for _, p := range s.providers {
+		p.Close()
+	}
+}
 
 // Handler returns the server's HTTP handler, for mounting on an
 // http.Server (whose Shutdown gives the graceful-drain story; see
@@ -391,20 +449,22 @@ func (s *Server) handleLegacySearch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleLegacyHealthz answers the pre-v1 liveness probe, marked deprecated.
+// On a sharded server the frozen body shape reports the whole set: global
+// node/edge totals, the composite generation, shard 0's source.
 func (s *Server) handleLegacyHealthz(w http.ResponseWriter, r *http.Request) {
 	deprecate(w, "/v1/healthz")
-	lease := s.provider.Acquire()
-	if lease == nil {
-		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "closed"})
+	ql, apiErr := s.acquire()
+	if apiErr != nil {
+		writeJSON(w, apiErr.status, HealthResponse{Status: "closed"})
 		return
 	}
-	defer lease.Release()
+	defer ql.Release()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:     "ok",
-		Nodes:      lease.Engine().NumNodes(),
-		Edges:      lease.Engine().NumEdges(),
-		Generation: lease.Generation(),
-		Source:     lease.Engine().BuildStats().Source,
+		Nodes:      ql.engine.NumNodes(),
+		Edges:      ql.engine.NumEdges(),
+		Generation: compositeGeneration(ql.generations()),
+		Source:     ql.leases[0].Engine().BuildStats().Source,
 	})
 }
 
@@ -424,7 +484,12 @@ func (s *Server) handleLegacyReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
 		return
 	}
-	rel, apiErr := s.reload()
+	shard, apiErr := s.parseShardParam(r)
+	if apiErr != nil {
+		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
+		return
+	}
+	rel, apiErr := s.reload(shard)
 	if apiErr != nil {
 		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
 		return
@@ -549,30 +614,79 @@ func wireAnswers(res cirank.SearchResult) []Answer {
 	return out
 }
 
-// reload re-opens the configured snapshot and hot-swaps the engine,
-// discarding the result cache. Reloads are serialized; checksum and
-// structural validation happen inside cirank.Open, so a corrupt file never
-// becomes the serving engine — the old generation keeps serving.
-func (s *Server) reload() (ReloadResponse, *apiError) {
+// reload re-opens the configured snapshot(s) and hot-swaps engines,
+// discarding the result cache. shard selects one partition of a sharded
+// server; -1 reloads everything the server holds. Reloads are serialized;
+// checksum and structural validation happen inside cirank.Open — and a
+// sharded reload additionally demands the file identify itself as the right
+// shard of the right set size — so a corrupt or misplaced file never becomes
+// a serving engine: nothing is swapped unless every selected file opened.
+func (s *Server) reload(shard int) (ReloadResponse, *apiError) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	eng, err := cirank.Open(s.cfg.SnapshotPath)
-	if err != nil {
-		s.m.reloadsFailed.Add(1)
-		if errors.Is(err, cirank.ErrBadSnapshot) {
-			return ReloadResponse{}, &apiError{status: http.StatusUnprocessableEntity, code: codeBadSnapshot, msg: err.Error()}
+	idxs := []int{shard}
+	if shard < 0 {
+		idxs = make([]int, len(s.providers))
+		for i := range idxs {
+			idxs[i] = i
 		}
-		return ReloadResponse{}, &apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()}
 	}
-	nodes, edges, source := eng.NumNodes(), eng.NumEdges(), eng.BuildStats().Source
-	gen, wait := s.provider.Swap(eng)
+	engines := make([]*cirank.Engine, 0, len(idxs))
+	fail := func(e *apiError) (ReloadResponse, *apiError) {
+		for _, eng := range engines {
+			_ = eng.Close()
+		}
+		s.m.reloadsFailed.Add(1)
+		return ReloadResponse{}, e
+	}
+	for _, i := range idxs {
+		path := s.cfg.SnapshotPath
+		if s.sharded() {
+			path = cirank.ShardSnapshotPath(path, i)
+		}
+		eng, err := cirank.Open(path)
+		if err != nil {
+			if errors.Is(err, cirank.ErrBadSnapshot) {
+				return fail(&apiError{status: http.StatusUnprocessableEntity, code: codeBadSnapshot, msg: err.Error()})
+			}
+			return fail(&apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()})
+		}
+		engines = append(engines, eng)
+		if s.sharded() {
+			if info, ok := eng.ShardInfo(); !ok || info.Index != i || info.Count != len(s.providers) {
+				return fail(&apiError{status: http.StatusUnprocessableEntity, code: codeBadSnapshot,
+					msg: fmt.Sprintf("%s is not shard %d of %d", path, i, len(s.providers))})
+			}
+		}
+	}
+	nodes, edges := engines[0].NumNodes(), engines[0].NumEdges()
+	if info, ok := engines[0].ShardInfo(); ok {
+		nodes, edges = info.TotalNodes, info.TotalEdges
+	}
+	source := engines[0].BuildStats().Source
+	waits := make([]func(time.Duration) bool, len(idxs))
+	for j, i := range idxs {
+		_, waits[j] = s.providers[i].Swap(engines[j])
+	}
+	gen := s.generation()
 	// Stale generations are unreachable by key construction (every cache
-	// key embeds the leasing request's generation); dropping the cache here
-	// releases their memory at the swap instead of waiting for eviction.
+	// key embeds the leasing request's generation vector); dropping the
+	// cache here releases their memory at the swap instead of waiting for
+	// eviction.
 	if s.cache != nil {
 		s.cache.swap()
 	}
-	drained := wait(s.cfg.ReloadDrainTimeout)
+	drained := true
+	deadline := time.Now().Add(s.cfg.ReloadDrainTimeout)
+	for _, wait := range waits {
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if !wait(remaining) {
+			drained = false
+		}
+	}
 	s.m.reloadsOK.Add(1)
 	return ReloadResponse{
 		Status:     "ok",
@@ -589,9 +703,15 @@ func (s *Server) reload() (ReloadResponse, *apiError) {
 func (s *Server) handleMetricsExposition(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var cache cirank.CacheStats
-	if lease := s.provider.Acquire(); lease != nil {
-		cache = lease.Engine().CacheStats()
-		lease.Release()
+	for _, p := range s.providers {
+		if lease := p.Acquire(); lease != nil {
+			c := lease.Engine().CacheStats()
+			lease.Release()
+			cache.ScoreHits += c.ScoreHits
+			cache.ScoreMisses += c.ScoreMisses
+			cache.BoundHits += c.BoundHits
+			cache.BoundMisses += c.BoundMisses
+		}
 	}
 	s.m.writeTo(w, s.scrape(cache))
 }

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cirank"
+)
+
+// The serving stack behind a partitioned engine set. A sharded server runs
+// one Provider per shard, so every shard hot-reloads independently; a request
+// pins a lease on every shard at once and searches through a per-request
+// cirank.ShardedEngine coordinator assembled over exactly the engines it
+// leased. The composite generation and the per-shard generation vector keep
+// the cache/coalescing key discipline intact: a result computed against
+// shard generations (g0, …, gN-1) is only ever reachable by a request that
+// leased that exact vector.
+
+// queryEngine is the engine surface the query path needs — satisfied by both
+// *cirank.Engine and the scatter-gather *cirank.ShardedEngine, so runQuery
+// and queryCost never care whether the corpus is partitioned.
+type queryEngine interface {
+	SearchTermsContext(ctx context.Context, terms []string, k int, opts cirank.SearchOptions) (cirank.SearchResult, error)
+	TermSelectivity(term string) int
+	NumNodes() int
+	NumEdges() int
+}
+
+// queryLease pins one engine — or a complete shard set — for the duration of
+// one request. engine is what the request searches; leases are the per-shard
+// borrows backing it (length 1 on an unsharded server).
+type queryLease struct {
+	leases []*Lease
+	engine queryEngine
+}
+
+// Release returns every pinned lease.
+func (q *queryLease) Release() {
+	for _, l := range q.leases {
+		l.Release()
+	}
+}
+
+// generations is the per-shard generation vector of the pinned leases.
+func (q *queryLease) generations() []uint64 {
+	gens := make([]uint64, len(q.leases))
+	for i, l := range q.leases {
+		gens[i] = l.Generation()
+	}
+	return gens
+}
+
+// sharded reports whether the server serves a partitioned engine set.
+func (s *Server) sharded() bool { return len(s.providers) > 1 }
+
+// acquire pins the current engine of every provider for one request. On a
+// sharded server it assembles the scatter-gather coordinator over exactly the
+// leased engines; independent per-shard reloads make a momentarily
+// inconsistent mix possible (a shard-by-shard corpus rollout), which the
+// coordinator's validation rejects — mapped to 503, the rollout finishes and
+// the next request sees a coherent set.
+func (s *Server) acquire() (*queryLease, *apiError) {
+	leases := make([]*Lease, 0, len(s.providers))
+	release := func() {
+		for _, l := range leases {
+			l.Release()
+		}
+	}
+	for _, p := range s.providers {
+		l := p.Acquire()
+		if l == nil {
+			release()
+			return nil, &apiError{status: http.StatusServiceUnavailable, code: codeUnavailable, msg: "server is shut down"}
+		}
+		leases = append(leases, l)
+	}
+	if !s.sharded() {
+		return &queryLease{leases: leases, engine: leases[0].Engine()}, nil
+	}
+	engines := make([]*cirank.Engine, len(leases))
+	for i, l := range leases {
+		engines[i] = l.Engine()
+	}
+	se, err := cirank.NewSharded(engines)
+	if err != nil {
+		release()
+		return nil, &apiError{status: http.StatusServiceUnavailable, code: codeUnavailable,
+			msg: "shard set is mid-rollout: " + err.Error(), retryAfter: true}
+	}
+	return &queryLease{leases: leases, engine: se}, nil
+}
+
+// compositeGeneration folds a per-shard generation vector into the single
+// generation number of the wire envelopes: the sum minus N-1, so a fresh set
+// starts at 1 and every single-shard swap bumps it by exactly one — on an
+// unsharded server it is the provider generation unchanged. 0 (closed) on
+// any closed shard.
+func compositeGeneration(gens []uint64) uint64 {
+	var sum uint64
+	for _, g := range gens {
+		if g == 0 {
+			return 0
+		}
+		sum += g
+	}
+	return sum - uint64(len(gens)-1)
+}
+
+// generation reports the current composite generation without leasing, for
+// error envelopes and batch headers.
+func (s *Server) generation() uint64 {
+	gens := make([]uint64, len(s.providers))
+	for i, p := range s.providers {
+		gens[i] = p.Generation()
+	}
+	return compositeGeneration(gens)
+}
+
+// parseShardParam reads the optional shard selector of the reload endpoints:
+// -1 when absent (reload everything), the shard index otherwise. A shard
+// selector on an unsharded server, or out of range, is a 400.
+func (s *Server) parseShardParam(r *http.Request) (int, *apiError) {
+	v := r.URL.Query().Get("shard")
+	if v == "" {
+		return -1, nil
+	}
+	if !s.sharded() {
+		return 0, &apiError{status: http.StatusBadRequest, code: codeBadRequest,
+			msg: "shard parameter on an unsharded server"}
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil || i < 0 || i >= len(s.providers) {
+		return 0, &apiError{status: http.StatusBadRequest, code: codeBadRequest,
+			msg: fmt.Sprintf("bad shard %q: want an index in [0, %d)", v, len(s.providers))}
+	}
+	return i, nil
+}

@@ -71,26 +71,55 @@ type V1HealthResponse struct {
 	// Schema is the envelope format identifier, always APISchema.
 	Schema string `json:"schema"`
 	// Generation counts engine swaps: 1 for the initial engine,
-	// incremented by every successful reload (0 once closed).
+	// incremented by every successful reload (0 once closed). On a sharded
+	// server it is the composite generation — the per-shard sum minus N-1 —
+	// so it still starts at 1 and every single-shard reload bumps it by one.
 	Generation uint64 `json:"generation"`
 	// Status is "ok" while an engine is being served, "closed" after
 	// Server.Close retired it.
 	Status string `json:"status"`
-	// Nodes is the engine data graph's node count.
+	// Nodes is the engine data graph's node count (the whole corpus on a
+	// sharded server).
 	Nodes int `json:"nodes"`
-	// Edges is the engine data graph's directed edge count.
+	// Edges is the engine data graph's directed edge count (the whole
+	// corpus on a sharded server).
 	Edges int `json:"edges"`
 	// Source is how the current engine's data arrived: "build", "stream"
-	// or "mmap".
+	// or "mmap" (shard 0's source on a sharded server).
 	Source string `json:"source"`
+	// Shards reports the partitions of a sharded server, in shard order;
+	// absent on an unsharded one.
+	Shards []V1ShardHealth `json:"shards,omitempty"`
+}
+
+// V1ShardHealth is one partition's entry in the /v1/healthz shards array.
+type V1ShardHealth struct {
+	// Index is the shard's position in the set.
+	Index int `json:"index"`
+	// Generation is the shard's own provider generation: 1 for the initial
+	// engine, incremented by every reload that touched this shard.
+	Generation uint64 `json:"generation"`
+	// Edges is the shard's projected directed edge count (members plus
+	// halo); shard edge counts sum to at least the corpus total, halo
+	// replication accounts for the excess.
+	Edges int `json:"edges"`
+	// Source is how this shard's engine data arrived.
+	Source string `json:"source"`
+	// Leases is the number of requests currently borrowing this shard's
+	// engine, excluding the probe itself — an instantaneous gauge.
+	Leases int64 `json:"leases"`
 }
 
 // V1ReloadResponse is the POST /v1/admin/reload success envelope.
 type V1ReloadResponse struct {
 	// Schema is the envelope format identifier, always APISchema.
 	Schema string `json:"schema"`
-	// Generation is the new engine's generation number.
+	// Generation is the new engine's generation number (the composite
+	// generation on a sharded server).
 	Generation uint64 `json:"generation"`
+	// Shard is the single partition the reload touched, present only when
+	// the request selected one with ?shard=i.
+	Shard *int `json:"shard,omitempty"`
 	// Status is "ok" on a successful swap.
 	Status string `json:"status"`
 	// Nodes is the new engine's node count.
@@ -170,7 +199,7 @@ func (s *Server) writeV1Error(w http.ResponseWriter, e *apiError) {
 	}
 	writeJSON(w, e.status, V1ErrorResponse{
 		Schema:     APISchema,
-		Generation: s.provider.Generation(),
+		Generation: s.generation(),
 		Error:      V1Error{Code: e.code, Message: e.msg},
 	})
 }
@@ -263,7 +292,7 @@ func (s *Server) handleV1BatchSearch(w http.ResponseWriter, r *http.Request) {
 		}(i, q)
 	}
 	wg.Wait()
-	resp.Generation = s.provider.Generation()
+	resp.Generation = s.generation()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -298,22 +327,41 @@ func (s *Server) runBatchEntry(r *http.Request, q V1BatchQuery) V1BatchResult {
 	}
 }
 
-// handleV1Healthz answers the versioned liveness/readiness probe.
+// handleV1Healthz answers the versioned liveness/readiness probe. A sharded
+// server additionally reports every partition: its own generation, source
+// and outstanding lease count.
 func (s *Server) handleV1Healthz(w http.ResponseWriter, r *http.Request) {
-	lease := s.provider.Acquire()
-	if lease == nil {
-		writeJSON(w, http.StatusServiceUnavailable, V1HealthResponse{Schema: APISchema, Status: "closed"})
+	ql, apiErr := s.acquire()
+	if apiErr != nil {
+		writeJSON(w, apiErr.status, V1HealthResponse{Schema: APISchema, Status: "closed"})
 		return
 	}
-	defer lease.Release()
-	writeJSON(w, http.StatusOK, V1HealthResponse{
+	resp := V1HealthResponse{
 		Schema:     APISchema,
-		Generation: lease.Generation(),
+		Generation: compositeGeneration(ql.generations()),
 		Status:     "ok",
-		Nodes:      lease.Engine().NumNodes(),
-		Edges:      lease.Engine().NumEdges(),
-		Source:     lease.Engine().BuildStats().Source,
-	})
+		Nodes:      ql.engine.NumNodes(),
+		Edges:      ql.engine.NumEdges(),
+		Source:     ql.leases[0].Engine().BuildStats().Source,
+	}
+	if s.sharded() {
+		resp.Shards = make([]V1ShardHealth, len(ql.leases))
+		for i, l := range ql.leases {
+			resp.Shards[i] = V1ShardHealth{
+				Index:      i,
+				Generation: l.Generation(),
+				Edges:      l.Engine().NumEdges(),
+				Source:     l.Engine().BuildStats().Source,
+			}
+		}
+	}
+	// Release before reading the lease gauges so the probe's own borrows
+	// don't inflate them — an idle server reports 0.
+	ql.Release()
+	for i := range resp.Shards {
+		resp.Shards[i].Leases = s.providers[i].Leases()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleV1Reload answers the versioned hot-reload endpoint.
@@ -323,12 +371,17 @@ func (s *Server) handleV1Reload(w http.ResponseWriter, r *http.Request) {
 		s.writeV1Error(w, &apiError{status: http.StatusMethodNotAllowed, code: codeMethodNotAllowed, msg: "use POST"})
 		return
 	}
-	rel, apiErr := s.reload()
+	shard, apiErr := s.parseShardParam(r)
 	if apiErr != nil {
 		s.writeV1Error(w, apiErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, V1ReloadResponse{
+	rel, apiErr := s.reload(shard)
+	if apiErr != nil {
+		s.writeV1Error(w, apiErr)
+		return
+	}
+	resp := V1ReloadResponse{
 		Schema:     APISchema,
 		Generation: rel.Generation,
 		Status:     rel.Status,
@@ -336,5 +389,9 @@ func (s *Server) handleV1Reload(w http.ResponseWriter, r *http.Request) {
 		Edges:      rel.Edges,
 		Source:     rel.Source,
 		Drained:    rel.Drained,
-	})
+	}
+	if shard >= 0 {
+		resp.Shard = &shard
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -364,29 +364,33 @@ func TestV1Metrics(t *testing.T) {
 	}
 }
 
-// TestQueryKey pins the key's discriminating fields: generation and every
-// response-affecting option separate keys; identical queries share one.
+// TestQueryKey pins the key's discriminating fields: the generation vector
+// and every response-affecting option separate keys; identical queries share
+// one.
 func TestQueryKey(t *testing.T) {
+	g1 := []uint64{1}
 	base := searchParams{
 		terms:   []string{"a", "b"},
 		k:       5,
 		timeout: time.Second,
 	}
-	if queryKey(1, base) != queryKey(1, base) {
+	if queryKey(g1, base) != queryKey(g1, base) {
 		t.Error("identical queries produced different keys")
 	}
 	mutations := map[string]func() string{
-		"generation": func() string { return queryKey(2, base) },
-		"k":          func() string { p := base; p.k = 6; return queryKey(1, p) },
-		"terms":      func() string { p := base; p.terms = []string{"a", "c"}; return queryKey(1, p) },
-		"term order": func() string { p := base; p.terms = []string{"b", "a"}; return queryKey(1, p) },
-		"timeout":    func() string { p := base; p.timeout = 2 * time.Second; return queryKey(1, p) },
-		"diameter":   func() string { p := base; p.opts.Diameter = 3; return queryKey(1, p) },
-		"workers":    func() string { p := base; p.opts.Workers = 2; return queryKey(1, p) },
-		"merge":      func() string { p := base; p.opts.ExtendedMerge = true; return queryKey(1, p) },
-		"expansions": func() string { p := base; p.opts.MaxExpansions = 7; return queryKey(1, p) },
+		"generation": func() string { return queryKey([]uint64{2}, base) },
+		"gen vector": func() string { return queryKey([]uint64{1, 2}, base) },
+		"vec order":  func() string { return queryKey([]uint64{2, 1}, base) },
+		"k":          func() string { p := base; p.k = 6; return queryKey(g1, p) },
+		"terms":      func() string { p := base; p.terms = []string{"a", "c"}; return queryKey(g1, p) },
+		"term order": func() string { p := base; p.terms = []string{"b", "a"}; return queryKey(g1, p) },
+		"timeout":    func() string { p := base; p.timeout = 2 * time.Second; return queryKey(g1, p) },
+		"diameter":   func() string { p := base; p.opts.Diameter = 3; return queryKey(g1, p) },
+		"workers":    func() string { p := base; p.opts.Workers = 2; return queryKey(g1, p) },
+		"merge":      func() string { p := base; p.opts.ExtendedMerge = true; return queryKey(g1, p) },
+		"expansions": func() string { p := base; p.opts.MaxExpansions = 7; return queryKey(g1, p) },
 	}
-	ref := queryKey(1, base)
+	ref := queryKey(g1, base)
 	seen := map[string]string{ref: "base"}
 	for name, mutate := range mutations {
 		k := mutate()
@@ -395,11 +399,16 @@ func TestQueryKey(t *testing.T) {
 		}
 		seen[k] = name
 	}
+	// Shard generation vectors with equal composites must still separate:
+	// the key carries the vector, not its sum.
+	if queryKey([]uint64{1, 3}, base) == queryKey([]uint64{3, 1}, base) {
+		t.Error("distinct generation vectors with equal composites collide")
+	}
 	// Terms containing the separator cannot smuggle a collision: the count
 	// of separators differs.
 	a := searchParams{terms: []string{"x\x1fy"}, k: 1, timeout: time.Second}
 	b := searchParams{terms: []string{"x", "y"}, k: 1, timeout: time.Second}
-	if queryKey(1, a) == queryKey(1, b) {
+	if queryKey(g1, a) == queryKey(g1, b) {
 		t.Error("separator-bearing term collides with a two-term query")
 	}
 }

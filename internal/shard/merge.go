@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"sort"
+
+	"cirank/internal/search"
+)
+
+// Ref addresses one answer in a scatter result set: the shard list it came
+// from and its rank there.
+type Ref struct {
+	// List indexes the scatter output (shard order).
+	List int
+	// Rank is the answer's position within that list.
+	Rank int
+}
+
+// Gather merges per-shard ranked answer lists into the global top-k and
+// aggregates the shards' search statistics into one coordinator-level view.
+// lists[i] and stats[i] are shard i's answers and stats; both slices must
+// have the same length.
+//
+// The merge reproduces the single-engine total order exactly: score
+// descending, canonical tree key ascending on ties. Trees that fall in the
+// halo overlap of several shards appear in several lists with bitwise-equal
+// scores (see the package comment); they deduplicate by canonical key.
+//
+// The aggregated stats sum the work counters and OR the partial flags, with
+// one refinement — bound-certified truncation clearing. A shard that hit
+// its expansion cap reported the best Eq. 3 upper bound left in its
+// frontier (Stats.FrontierBound). If the merged list holds k answers and
+// every truncated shard's frontier bound is strictly below the merged k-th
+// score, nothing any shard left unexplored can displace the merged list
+// (answers the shards commit-pruned score strictly below their own k-th
+// answer, hence below the merged k-th), so the merged result is provably
+// the exact global top-k and Truncated clears. Interruption is never
+// cleared: an interrupted shard's unexplored space is unbounded (+Inf).
+func Gather(k int, lists [][]search.Answer, stats []search.Stats) ([]Ref, search.Stats) {
+	type entry struct {
+		ref   Ref
+		score float64
+		key   string
+	}
+	var entries []entry
+	for li, list := range lists {
+		for ri, a := range list {
+			entries = append(entries, entry{Ref{li, ri}, a.Score, a.Tree.CanonicalKey()})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].score != entries[j].score {
+			return entries[i].score > entries[j].score
+		}
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].ref.List < entries[j].ref.List
+	})
+	refs := make([]Ref, 0, k)
+	var kth float64
+	seen := make(map[string]bool, k)
+	for _, e := range entries {
+		if seen[e.key] {
+			continue
+		}
+		seen[e.key] = true
+		refs = append(refs, e.ref)
+		kth = e.score
+		if len(refs) == k {
+			break
+		}
+	}
+
+	var agg search.Stats
+	for _, st := range stats {
+		agg.Expanded += st.Expanded
+		agg.Generated += st.Generated
+		agg.Answers += st.Answers
+		agg.Truncated = agg.Truncated || st.Truncated
+		agg.Interrupted = agg.Interrupted || st.Interrupted
+		if st.FrontierBound > agg.FrontierBound {
+			agg.FrontierBound = st.FrontierBound
+		}
+	}
+	if agg.Truncated && !agg.Interrupted && len(refs) == k {
+		certified := true
+		for _, st := range stats {
+			// Strict comparison: a frontier bound equal to the k-th score
+			// could hide an undiscovered tie that wins on canonical key.
+			if st.Truncated && !(st.FrontierBound < kth) {
+				certified = false
+				break
+			}
+		}
+		if certified {
+			agg.Truncated = false
+		}
+	}
+	return refs, agg
+}

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"cirank/internal/search"
+)
+
+// Set is an in-process scatter-gather coordinator over built shards: the
+// internal counterpart of the public facade's ShardedEngine, used by the
+// determinism suite and the benchmark harness to drive sharded search at the
+// search layer.
+type Set struct {
+	shards []*Shard
+}
+
+// NewSet wraps built shards (see Build) into a coordinator.
+func NewSet(shards []*Shard) *Set { return &Set{shards: shards} }
+
+// TopK is TopKContext with a background context.
+func (s *Set) TopK(terms []string, opts search.Options) ([]search.Answer, search.Stats, error) {
+	return s.TopKContext(context.Background(), terms, opts)
+}
+
+// TopKContext scatters the query to every shard concurrently and gathers the
+// shard lists into the exact global top-k (see Gather). opts applies to each
+// shard leg, except that a non-nil opts.Index — necessarily built over the
+// whole graph — is replaced by the shard's own star index (or dropped when
+// the shard has none): bounds from a whole-graph index would still be
+// admissible, but per-shard indexes are what a deployed shard actually
+// holds. The merged ranking is byte-identical to a single whole-graph search
+// for every shard count, worker count and index choice.
+func (s *Set) TopKContext(ctx context.Context, terms []string, opts search.Options) ([]search.Answer, search.Stats, error) {
+	lists := make([][]search.Answer, len(s.shards))
+	stats := make([]search.Stats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			so := opts
+			if so.Index != nil {
+				if sh.Star != nil {
+					so.Index = sh.Star
+				} else {
+					so.Index = nil
+				}
+			}
+			lists[i], stats[i], errs[i] = sh.Searcher.TopKContext(ctx, terms, so)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, search.Stats{}, err
+		}
+	}
+	refs, agg := Gather(opts.K, lists, stats)
+	out := make([]search.Answer, len(refs))
+	for j, r := range refs {
+		out[j] = lists[r.List][r.Rank]
+	}
+	return out, agg, nil
+}

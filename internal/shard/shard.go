@@ -1,0 +1,163 @@
+// Package shard partitions the CI-Rank data graph into overlapping per-shard
+// subgraphs and merges their locally-optimal top-k answers back into the
+// exact global ranking — the core of the scatter-gather serving engine.
+//
+// # Partitioning scheme
+//
+// Ownership is a contiguous range split of the dense node-ID space: shard i
+// of N owns nodes [i·n/N, (i+1)·n/N). Every shard then replicates a halo
+// around its owned range — all nodes within Radius undirected hops of an
+// owned node — and materializes the member-induced subgraph. The halo makes
+// shards self-sufficient: an answer tree of diameter ≤ D has a center node
+// whose tree-eccentricity is at most ⌈D/2⌉, so as long as Radius ≥ ⌈D/2⌉
+// the shard owning the center contains the whole tree. Every valid answer
+// is therefore discoverable by at least one shard locally, with no
+// cross-shard tree assembly.
+//
+// # Why shard scores are bitwise global scores
+//
+// Shard subgraphs keep the full global node-ID space (non-members are empty
+// records with no edges), and the scoring model is rebuilt from the global
+// importance and dampening vectors (rwmp.NewFromParts), so node IDs,
+// canonical tree keys, p_min, and every Eq. 2–4 input are identical to the
+// single-engine ones. RWMP scoring is tree-local — split denominators sum
+// directed weights only toward tree neighbours — so a tree fully contained
+// in a shard scores bitwise identically to the same tree in the whole
+// graph. Gather can therefore merge shard lists under the global
+// (score desc, canonical key asc) total order and dedup overlap-region
+// duplicates by key: the merged list is byte-identical to the single-engine
+// top-k.
+package shard
+
+import (
+	"fmt"
+
+	"cirank/internal/graph"
+)
+
+// Part describes one shard of a Plan.
+type Part struct {
+	// Index is the shard's position in [0, Count).
+	Index int
+	// Lo and Hi delimit the owned node range [Lo, Hi); the owned ranges of
+	// a plan's parts partition the whole ID space. Hi == Lo for shards of
+	// a plan with more parts than nodes.
+	Lo, Hi graph.NodeID
+	// Member flags every node of the shard subgraph: the owned range plus
+	// the halo of nodes within Radius undirected hops of it. Length is the
+	// full graph's node count.
+	Member []bool
+	// Members counts the true entries of Member.
+	Members int
+}
+
+// Owns reports whether the shard owns node v (as opposed to merely
+// replicating it in its halo).
+func (p *Part) Owns(v graph.NodeID) bool { return v >= p.Lo && v < p.Hi }
+
+// Plan is a deterministic partitioning of a graph into Count overlapping
+// shards with halo radius Radius.
+type Plan struct {
+	// NumNodes is the partitioned graph's node count.
+	NumNodes int
+	// Count is the number of shards.
+	Count int
+	// Radius is the halo depth in undirected hops. Searches on the plan's
+	// shards are exact for answer diameters up to 2·Radius.
+	Radius int
+	// Parts holds one entry per shard, in shard-index order.
+	Parts []Part
+}
+
+// NewPlan splits g into count shards with the given halo radius. The split
+// is deterministic: contiguous owned ranges, halo by breadth-first search
+// over edges taken undirected. count may exceed the node count; the excess
+// shards are empty.
+func NewPlan(g *graph.Graph, count, radius int) (*Plan, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("shard: count %d, want at least 1", count)
+	}
+	if radius < 1 {
+		return nil, fmt.Errorf("shard: radius %d, want at least 1", radius)
+	}
+	n := g.NumNodes()
+	rev := reverseAdjacency(g)
+	plan := &Plan{NumNodes: n, Count: count, Radius: radius, Parts: make([]Part, count)}
+	for i := 0; i < count; i++ {
+		lo, hi := graph.NodeID(i*n/count), graph.NodeID((i+1)*n/count)
+		p := Part{Index: i, Lo: lo, Hi: hi, Member: make([]bool, n)}
+		// Multi-source BFS from the owned range, following edges in both
+		// directions: answer trees connect nodes regardless of edge
+		// orientation, so the halo must too.
+		frontier := make([]graph.NodeID, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			p.Member[v] = true
+			frontier = append(frontier, v)
+		}
+		p.Members = len(frontier)
+		var next []graph.NodeID
+		for depth := 0; depth < radius && len(frontier) > 0; depth++ {
+			next = next[:0]
+			for _, u := range frontier {
+				for _, e := range g.OutEdges(u) {
+					if !p.Member[e.To] {
+						p.Member[e.To] = true
+						p.Members++
+						next = append(next, e.To)
+					}
+				}
+				for _, w := range rev[u] {
+					if !p.Member[w] {
+						p.Member[w] = true
+						p.Members++
+						next = append(next, w)
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+		plan.Parts[i] = p
+	}
+	return plan, nil
+}
+
+// reverseAdjacency lists, for each node, the sources of its incoming edges.
+func reverseAdjacency(g *graph.Graph) [][]graph.NodeID {
+	rev := make([][]graph.NodeID, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.OutEdges(graph.NodeID(v)) {
+			rev[e.To] = append(rev[e.To], graph.NodeID(v))
+		}
+	}
+	return rev
+}
+
+// Project materializes the member-induced subgraph of one shard in the
+// global ID space: the subgraph has the same node count as g, member nodes
+// keep their full records and their edges to other members, non-members
+// become empty records with no edges. Keeping global IDs is what makes
+// canonical tree keys — and therefore the Gather merge order and dedup —
+// comparable across shards.
+func Project(g *graph.Graph, p *Part) *graph.Graph {
+	b := graph.NewBuilder(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if p.Member[v] {
+			b.AddNode(*g.Node(id))
+		} else {
+			b.AddNode(graph.Node{})
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if !p.Member[v] {
+			continue
+		}
+		for _, e := range g.OutEdges(id) {
+			if p.Member[e.To] {
+				b.AddEdge(id, e.To, e.Weight)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"cirank/internal/graph"
+	"cirank/internal/jtt"
+	"cirank/internal/search"
+)
+
+// chainGraph builds a directed path 0→1→…→n-1 with reverse edges, so the
+// undirected halo grows one hop per radius step in both directions.
+func chainGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Node{Relation: "R", Key: string(rune('a' + i)), Text: "node", Words: 1})
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+		b.AddEdge(graph.NodeID(i+1), graph.NodeID(i), 0.5)
+	}
+	return b.Build()
+}
+
+func TestNewPlanInvariants(t *testing.T) {
+	g := chainGraph(10)
+	for _, count := range []int{1, 2, 3, 4, 10, 15} {
+		plan, err := NewPlan(g, count, 2)
+		if err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+		if len(plan.Parts) != count {
+			t.Fatalf("count %d: %d parts", count, len(plan.Parts))
+		}
+		// Owned ranges partition [0, n).
+		prev := graph.NodeID(0)
+		for i, p := range plan.Parts {
+			if p.Lo != prev {
+				t.Fatalf("count %d: part %d starts at %d, want %d", count, i, p.Lo, prev)
+			}
+			if p.Hi < p.Lo {
+				t.Fatalf("count %d: part %d inverted range", count, i)
+			}
+			prev = p.Hi
+			// Every owned node is a member; membership within radius hops.
+			for v := p.Lo; v < p.Hi; v++ {
+				if !p.Member[v] {
+					t.Fatalf("count %d: part %d does not contain owned node %d", count, i, v)
+				}
+			}
+			members := 0
+			for v, m := range p.Member {
+				if !m {
+					continue
+				}
+				members++
+				// On the chain, distance to the owned range is the gap.
+				d := 0
+				switch {
+				case graph.NodeID(v) < p.Lo:
+					d = int(p.Lo) - v
+				case graph.NodeID(v) >= p.Hi:
+					d = v - int(p.Hi) + 1
+				}
+				if d > plan.Radius {
+					t.Fatalf("count %d: part %d member %d is %d hops from the owned range (radius %d)",
+						count, i, v, d, plan.Radius)
+				}
+			}
+			if members != p.Members {
+				t.Fatalf("count %d: part %d Members=%d, counted %d", count, i, p.Members, members)
+			}
+			// The halo is complete: every node within radius hops is a member.
+			if p.Hi > p.Lo {
+				for v := 0; v < plan.NumNodes; v++ {
+					d := 0
+					switch {
+					case graph.NodeID(v) < p.Lo:
+						d = int(p.Lo) - v
+					case graph.NodeID(v) >= p.Hi:
+						d = v - int(p.Hi) + 1
+					}
+					if d <= plan.Radius && !p.Member[v] {
+						t.Fatalf("count %d: part %d misses halo node %d at distance %d", count, i, v, d)
+					}
+				}
+			}
+		}
+		if int(prev) != g.NumNodes() {
+			t.Fatalf("count %d: owned ranges end at %d of %d", count, prev, g.NumNodes())
+		}
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	g := chainGraph(4)
+	if _, err := NewPlan(g, 0, 1); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := NewPlan(g, 2, 0); err == nil {
+		t.Error("radius 0 accepted")
+	}
+}
+
+// TestProjectSingleShardIdentity pins the count=1 anchor: projecting the
+// lone shard reproduces the original graph bit for bit (same edges, weights
+// and out-sums), because the builder re-sums weights in the same sorted
+// destination order.
+func TestProjectSingleShardIdentity(t *testing.T) {
+	g := chainGraph(6)
+	plan, err := NewPlan(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := Project(g, &plan.Parts[0])
+	if pg.NumNodes() != g.NumNodes() || pg.NumEdges() != g.NumEdges() {
+		t.Fatalf("projected %d nodes / %d edges, want %d / %d",
+			pg.NumNodes(), pg.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if *g.Node(id) != *pg.Node(id) {
+			t.Fatalf("node %d records differ", v)
+		}
+		a, b := g.OutEdges(id), pg.OutEdges(id)
+		if len(a) != len(b) {
+			t.Fatalf("node %d edge counts differ: %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d edge %d differs: %+v vs %+v", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestProjectDropsNonMembers checks the member-induced projection: halo-edge
+// structure survives, edges to non-members are cut, non-members are empty.
+func TestProjectDropsNonMembers(t *testing.T) {
+	g := chainGraph(8)
+	plan, err := NewPlan(g, 4, 1) // shard 0 owns {0,1}, halo adds node 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.Parts[0]
+	pg := Project(g, p)
+	if pg.NumNodes() != g.NumNodes() {
+		t.Fatalf("projection changed the ID space: %d nodes", pg.NumNodes())
+	}
+	for v := 0; v < pg.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if p.Member[v] {
+			if pg.Node(id).Relation == "" {
+				t.Fatalf("member %d lost its record", v)
+			}
+			continue
+		}
+		if pg.Node(id).Relation != "" || len(pg.OutEdges(id)) != 0 {
+			t.Fatalf("non-member %d kept data", v)
+		}
+	}
+	// Member 2's edge back to member 1 survives; its edge to non-member 3
+	// does not.
+	var to1, to3 bool
+	for _, e := range pg.OutEdges(2) {
+		if e.To == 1 {
+			to1 = true
+		}
+		if e.To == 3 {
+			to3 = true
+		}
+	}
+	if !to1 || to3 {
+		t.Fatalf("halo node 2 edges wrong: to1=%v to3=%v", to1, to3)
+	}
+}
+
+// gatherAnswer builds a single-node answer for merge tests; distinct nodes
+// give distinct canonical keys, and key order follows node order.
+func gatherAnswer(v graph.NodeID, score float64) search.Answer {
+	return search.Answer{Tree: jtt.NewSingle(v), Score: score}
+}
+
+func TestGatherMergesAndDedups(t *testing.T) {
+	lists := [][]search.Answer{
+		{gatherAnswer(1, 9), gatherAnswer(2, 7)},
+		{gatherAnswer(3, 8), gatherAnswer(1, 9)}, // node 1 is halo overlap
+	}
+	stats := []search.Stats{{Answers: 2}, {Answers: 2}}
+	refs, agg := Gather(3, lists, stats)
+	want := []Ref{{0, 0}, {1, 0}, {0, 1}} // scores 9, 8, 7; dup of node 1 dropped
+	if len(refs) != len(want) {
+		t.Fatalf("got %d refs, want %d", len(refs), len(want))
+	}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, refs[i], want[i])
+		}
+	}
+	if agg.Answers != 4 {
+		t.Errorf("aggregated Answers = %d, want 4", agg.Answers)
+	}
+}
+
+func TestGatherTieBreaksOnCanonicalKey(t *testing.T) {
+	// Equal scores: the smaller canonical key (smaller node) must rank first
+	// regardless of which list it came from.
+	lists := [][]search.Answer{
+		{gatherAnswer(5, 4)},
+		{gatherAnswer(2, 4)},
+	}
+	refs, _ := Gather(2, lists, make([]search.Stats, 2))
+	if refs[0] != (Ref{1, 0}) || refs[1] != (Ref{0, 0}) {
+		t.Fatalf("tie order wrong: %+v", refs)
+	}
+}
+
+func TestGatherTruncationClearing(t *testing.T) {
+	lists := [][]search.Answer{
+		{gatherAnswer(1, 9), gatherAnswer(2, 8)},
+		{gatherAnswer(3, 7)},
+	}
+	// Truncated shard whose frontier bound is strictly below the merged
+	// k-th score: certified exact, flag clears.
+	stats := []search.Stats{{}, {Truncated: true, FrontierBound: 7.5}}
+	if _, agg := Gather(2, lists, stats); agg.Truncated {
+		t.Error("certified truncation not cleared (bound 7.5 < kth 8)")
+	}
+	// Bound equal to the k-th score: an undiscovered tie could win on key,
+	// so the flag must stay.
+	stats[1].FrontierBound = 8
+	if _, agg := Gather(2, lists, stats); !agg.Truncated {
+		t.Error("truncation cleared on a tie-able bound")
+	}
+	// Fewer than k merged answers: nothing to certify against.
+	stats[1].FrontierBound = 0.5
+	if _, agg := Gather(4, lists, stats); !agg.Truncated {
+		t.Error("truncation cleared with an unfilled top-k")
+	}
+	// An interrupted run is never certified.
+	stats[1].FrontierBound = 0.5
+	stats[0].Interrupted = true
+	if _, agg := Gather(2, lists, stats); !agg.Truncated || !agg.Interrupted {
+		t.Error("interrupted run lost its partial flags")
+	}
+	// An infinite bound (lost candidates) keeps the flag.
+	stats[0].Interrupted = false
+	stats[1].FrontierBound = math.Inf(1)
+	if _, agg := Gather(2, lists, stats); !agg.Truncated {
+		t.Error("truncation cleared despite an unbounded frontier")
+	}
+}

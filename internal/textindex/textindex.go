@@ -259,6 +259,18 @@ func (ix *Index) DFTotal(term string) int {
 	return len(ix.Postings(term))
 }
 
+// DFRange reports the number of nodes with ID in [lo, hi) whose text
+// contains term. Posting lists are sorted by node, so two binary searches
+// suffice. Sharded engines price queries with it: summing DFRange over the
+// shards' disjoint owned ranges reproduces the whole-corpus DFTotal exactly,
+// without double-counting replicated halo nodes.
+func (ix *Index) DFRange(term string, lo, hi graph.NodeID) int {
+	ps := ix.Postings(term)
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Node >= lo })
+	j := sort.Search(len(ps), func(i int) bool { return ps[i].Node >= hi })
+	return j - i
+}
+
 // RelationTuples reports the number of tuples in relation rel (N_Rel).
 func (ix *Index) RelationTuples(rel string) int {
 	if rs := ix.rels[rel]; rs != nil {

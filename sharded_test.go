@@ -1,0 +1,217 @@
+package cirank
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"cirank/internal/datagen"
+)
+
+// shardFixture builds a generated DBLP engine plus a query workload through
+// the public builder — large enough that partitions at count 4 are
+// non-trivial, small enough for the race detector.
+func shardFixture(t testing.TB) (*Engine, [][]string) {
+	t.Helper()
+	ds, err := datagen.GenerateDBLP(datagen.DefaultDBLPConfig(7).Scale(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewDBLPBuilder()
+	if err := ds.Replay(b.InsertEntity, b.Relate); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := b.Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := datagen.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := built.GenerateWorkload(datagen.UserLogConfig(16, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := make([][]string, len(queries))
+	for i, q := range queries {
+		terms[i] = q.Terms
+	}
+	return eng, terms
+}
+
+// sameResults demands bitwise-equal rankings: same order, bit-equal scores,
+// identical rows and edges.
+func sameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("%s: result %d score %.17g, want %.17g", label, i, got[i].Score, want[i].Score)
+		}
+		if len(got[i].Rows) != len(want[i].Rows) || len(got[i].Edges) != len(want[i].Edges) {
+			t.Fatalf("%s: result %d shape differs", label, i)
+		}
+		for j := range got[i].Rows {
+			if got[i].Rows[j] != want[i].Rows[j] {
+				t.Fatalf("%s: result %d row %d differs: %+v vs %+v",
+					label, i, j, got[i].Rows[j], want[i].Rows[j])
+			}
+		}
+		for j := range got[i].Edges {
+			if got[i].Edges[j] != want[i].Edges[j] {
+				t.Fatalf("%s: result %d edge %d differs", label, i, j)
+			}
+		}
+	}
+}
+
+func TestShardedByteIdentity(t *testing.T) {
+	eng, queries := shardFixture(t)
+	for _, count := range []int{1, 2, 4} {
+		shards, err := ShardEngines(eng, count, 0)
+		if err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+		se, err := NewSharded(shards)
+		if err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+		if se.NumNodes() != eng.NumNodes() || se.NumEdges() != eng.NumEdges() {
+			t.Fatalf("count %d: coordinator reports %d/%d, engine has %d/%d",
+				count, se.NumNodes(), se.NumEdges(), eng.NumNodes(), eng.NumEdges())
+		}
+		for qi, terms := range queries {
+			want, err := eng.SearchTerms(terms, 5, SearchOptions{})
+			if err != nil {
+				t.Fatalf("query %d: single-engine: %v", qi, err)
+			}
+			got, err := se.SearchTerms(terms, 5, SearchOptions{})
+			if err != nil {
+				t.Fatalf("count %d query %d: %v", count, qi, err)
+			}
+			sameResults(t, "sharded", got, want)
+		}
+	}
+}
+
+func TestShardedTermSelectivity(t *testing.T) {
+	eng, queries := shardFixture(t)
+	shards, err := ShardEngines(eng, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSharded(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, terms := range queries {
+		for _, term := range terms {
+			if got, want := se.TermSelectivity(term), eng.TermSelectivity(term); got != want {
+				t.Fatalf("TermSelectivity(%q) = %d sharded, %d single-engine", term, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no terms checked")
+	}
+	if se.TermSelectivity("nosuchterm") != 0 {
+		t.Error("unknown term has nonzero selectivity")
+	}
+}
+
+func TestShardSnapshotRoundTrip(t *testing.T) {
+	eng, queries := shardFixture(t)
+	shards, err := ShardEngines(eng, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := shards[1].ShardInfo()
+	if !ok || info.Index != 1 || info.Count != 2 || info.Radius != DefaultShardRadius {
+		t.Fatalf("ShardInfo = %+v, %v", info, ok)
+	}
+	if info.TotalNodes != eng.NumNodes() || info.TotalEdges != eng.NumEdges() {
+		t.Fatalf("ShardInfo totals %d/%d, want %d/%d",
+			info.TotalNodes, info.TotalEdges, eng.NumNodes(), eng.NumEdges())
+	}
+	if _, ok := eng.ShardInfo(); ok {
+		t.Fatal("unpartitioned engine claims a shard slice")
+	}
+
+	base := filepath.Join(t.TempDir(), "snap")
+	if err := SaveShardSet(shards, base); err != nil {
+		t.Fatal(err)
+	}
+	se, err := OpenShardSet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	if se.NumShards() != 2 || se.Radius() != DefaultShardRadius {
+		t.Fatalf("reopened set: %d shards radius %d", se.NumShards(), se.Radius())
+	}
+	for qi, terms := range queries[:4] {
+		want, err := eng.SearchTerms(terms, 5, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := se.SearchTerms(terms, 5, SearchOptions{})
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		sameResults(t, "reopened sharded", got, want)
+	}
+	// Missing member: shard 1's file gone.
+	if err := SaveShardSet(shards, filepath.Join(t.TempDir(), "gone")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	eng := fig2Engine(t, DefaultConfig())
+	shards, err := ShardEngines(eng, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-sharding a shard engine is rejected.
+	if _, err := ShardEngines(shards[0], 2, 1); !errors.Is(err, ErrShardSet) {
+		t.Errorf("re-sharding a shard: err = %v", err)
+	}
+	// Out-of-order set.
+	if _, err := NewSharded([]*Engine{shards[1], shards[0]}); !errors.Is(err, ErrShardSet) {
+		t.Errorf("out-of-order set: err = %v", err)
+	}
+	// Incomplete set.
+	if _, err := NewSharded(shards[:1]); !errors.Is(err, ErrShardSet) {
+		t.Errorf("incomplete set: err = %v", err)
+	}
+	// Non-shard engine.
+	if _, err := NewSharded([]*Engine{eng}); !errors.Is(err, ErrShardSet) {
+		t.Errorf("plain engine: err = %v", err)
+	}
+	se, err := NewSharded(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 1 certifies diameters up to 2; the default 4 must be rejected.
+	if _, err := se.Search("ullman", 3); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("over-horizon diameter: err = %v", err)
+	}
+	res, err := se.SearchTerms([]string{"tsimmis"}, 3, SearchOptions{Diameter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.SearchTerms([]string{"tsimmis"}, 3, SearchOptions{Diameter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "radius-1 set", res, want)
+	if _, err := se.SearchTerms([]string{"x"}, 0, SearchOptions{Diameter: 2}); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: err = %v", err)
+	}
+}

@@ -52,10 +52,14 @@ import (
 //	star.ord    numNodes × i32
 //	star.dist   numStar² × u8
 //	star.ret    numStar² × f64
+//	shard       index u64 | count u64 | radius u64 |
+//	            ownedLo u64 | ownedHi u64 | totalNodes u64 | totalEdges u64
 //
 // The five star.* sections are present together exactly when the meta flags
-// word has bit 0 set; strings are u32-length-prefixed UTF-8. The encoding is
-// deterministic: the same engine always serializes to the same bytes.
+// word has bit 0 set; the shard section (a shard engine's slice of its
+// partition plan, see ShardEngines) exactly when bit 1 is set; strings are
+// u32-length-prefixed UTF-8. The encoding is deterministic: the same engine
+// always serializes to the same bytes.
 //
 // LoadEngine also still reads the legacy v1 stream format (which rebuilt the
 // text index and tuple lookup on load, losing merged-away role keys); the
@@ -78,7 +82,7 @@ const (
 	// element type (f64 and the 16-byte edge record).
 	snapAlign = 16
 	// maxSections bounds the section count a decoder will size a table for;
-	// the format defines 14 names, so anything near this is corruption.
+	// the format defines 15 names, so anything near this is corruption.
 	maxSections = 64
 	// maxSnapshotString bounds one length-prefixed string, matching the
 	// graph serialization's limit.
@@ -86,8 +90,12 @@ const (
 
 	metaSectionSize     = 40
 	starMetaSectionSize = 24
+	shardSectionSize    = 56
 	// metaFlagStarIndex marks that the five star.* sections are present.
 	metaFlagStarIndex = uint64(1) << 0
+	// metaFlagShard marks that the shard section is present: the engine
+	// serves one shard of a partitioned set (see ShardEngines).
+	metaFlagShard = uint64(1) << 1
 )
 
 // Section names of the v2 format.
@@ -106,6 +114,7 @@ const (
 	secStarOrd   = "star.ord"
 	secStarDist  = "star.dist"
 	secStarRet   = "star.ret"
+	secShard     = "shard"
 )
 
 // requiredSections must be present in every v2 snapshot; starSections are
@@ -124,6 +133,7 @@ var (
 		for _, s := range starSections {
 			m[s] = true
 		}
+		m[secShard] = true
 		return m
 	}()
 )
@@ -165,6 +175,9 @@ func (e *Engine) encodeSections() ([]snapSection, error) {
 	var flags uint64
 	if e.starIdx != nil {
 		flags |= metaFlagStarIndex
+	}
+	if e.shard != nil {
+		flags |= metaFlagShard
 	}
 	meta = binary.LittleEndian.AppendUint64(meta, flags)
 
@@ -220,6 +233,18 @@ func (e *Engine) encodeSections() ([]snapSection, error) {
 			snapSection{secStarDist, p.Dist},
 			snapSection{secStarRet, mmapio.AppendFloat64s(nil, p.Ret)},
 		)
+	}
+	if e.shard != nil {
+		m := e.shard
+		sh := make([]byte, 0, shardSectionSize)
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.Index))
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.Count))
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.Radius))
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.Lo))
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.Hi))
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.TotalNodes))
+		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.TotalEdges))
+		secs = append(secs, snapSection{secShard, sh})
 	}
 	return secs, nil
 }
@@ -497,7 +522,7 @@ func decodeV2(data []byte, alias bool) (*Engine, error) {
 	nNodes := binary.LittleEndian.Uint64(meta[16:])
 	nEdges := binary.LittleEndian.Uint64(meta[24:])
 	flags := binary.LittleEndian.Uint64(meta[32:])
-	if flags&^metaFlagStarIndex != 0 {
+	if flags&^(metaFlagStarIndex|metaFlagShard) != 0 {
 		return nil, badSnap("unknown meta flags %#x", flags)
 	}
 	if nNodes > math.MaxInt32 {
@@ -558,11 +583,67 @@ func decodeV2(data []byte, alias bool) (*Engine, error) {
 		}
 	}
 
+	var shardM *shardMeta
+	if flags&metaFlagShard != 0 {
+		shardM, err = decodeShardSection(secs, n, int(nEdges))
+		if err != nil {
+			return nil, err
+		}
+	} else if _, ok := secs[secShard]; ok {
+		return nil, badSnap("section %q present without the shard flag", secShard)
+	}
+
 	entries, byKey, err := decodeEntMap(secs[secEntMap], n)
 	if err != nil {
 		return nil, err
 	}
-	return assembleLoaded(g, ix, model, impV, starIdx, entries, byKey), nil
+	e := assembleLoaded(g, ix, model, impV, starIdx, entries, byKey)
+	e.shard = shardM
+	return e, nil
+}
+
+// decodeShardSection validates and decodes the shard section: the engine's
+// slice of its partition plan. n and nEdges are the snapshot graph's sizes —
+// a shard subgraph spans the full global ID space, so totalNodes must equal
+// n, while totalEdges (the whole graph's) can only exceed the shard's.
+func decodeShardSection(secs map[string][]byte, n, nEdges int) (*shardMeta, error) {
+	b, ok := secs[secShard]
+	if !ok {
+		return nil, badSnap("shard flag set but section %q is missing", secShard)
+	}
+	if len(b) != shardSectionSize {
+		return nil, badSnap("section %q is %d bytes, want %d", secShard, len(b), shardSectionSize)
+	}
+	var v [7]uint64
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	index, count, radius := v[0], v[1], v[2]
+	lo, hi := v[3], v[4]
+	totalNodes, totalEdges := v[5], v[6]
+	if count < 1 || count > math.MaxInt32 {
+		return nil, badSnap("shard count %d outside [1, %d]", count, math.MaxInt32)
+	}
+	if index >= count {
+		return nil, badSnap("shard index %d outside [0, %d)", index, count)
+	}
+	if radius < 1 || radius > math.MaxInt32 {
+		return nil, badSnap("shard radius %d outside [1, %d]", radius, math.MaxInt32)
+	}
+	if totalNodes != uint64(n) {
+		return nil, badSnap("shard claims %d total nodes, snapshot holds %d", totalNodes, n)
+	}
+	if totalEdges < uint64(nEdges) || totalEdges > math.MaxInt32 {
+		return nil, badSnap("shard claims %d total edges for a subgraph of %d", totalEdges, nEdges)
+	}
+	if lo > hi || hi > totalNodes {
+		return nil, badSnap("shard owned range [%d, %d) invalid for %d nodes", lo, hi, totalNodes)
+	}
+	return &shardMeta{
+		Index: int(index), Count: int(count), Radius: int(radius),
+		Lo: graph.NodeID(lo), Hi: graph.NodeID(hi),
+		TotalNodes: int(totalNodes), TotalEdges: int(totalEdges),
+	}, nil
 }
 
 // decodeStarSections validates and reassembles the five star.* sections.
