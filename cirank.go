@@ -151,6 +151,16 @@ type SearchOptions struct {
 	// (worst-case exponential) extra cost. The default follows the paper's
 	// §IV-B merge rule. See search.Options.ExtendedMerge.
 	ExtendedMerge bool
+	// DisableFrontierPrune stops a shard engine from pruning candidate
+	// trees centered far from its owned node set. By default a shard
+	// engine (see ShardEngines) explores only trees whose root lies within
+	// ⌈Diameter/2⌉ hops of ownership — exactly the trees whose answers it
+	// is responsible for in a scatter-gather set — which is what makes
+	// sharding cheaper than a whole-graph search. Disabling the prune
+	// makes the shard return every answer its halo-widened subgraph holds
+	// (the pre-prune behaviour); merged rankings through ShardedEngine are
+	// byte-identical either way. Non-shard engines ignore the flag.
+	DisableFrontierPrune bool
 }
 
 // Row is one tuple of a search result.
@@ -205,6 +215,11 @@ type Engine struct {
 	// shard is non-nil when this engine serves one shard of a partitioned
 	// set (see ShardEngines); it records the engine's slice of the plan.
 	shard *shardMeta
+	// ownedDist maps every node to its hop distance from the shard's owned
+	// set over the shard subgraph, cut off at the plan radius (-1 beyond).
+	// It powers the frontier prune; nil for non-shard engines. Derived
+	// data: recomputed from the owned set at load rather than persisted.
+	ownedDist []int32
 	// closer releases the snapshot mapping backing a zero-copy engine
 	// (nil otherwise); closeOnce makes Close idempotent.
 	closer    func() error
@@ -371,6 +386,15 @@ func (e *Engine) searchOptions(k int, opts SearchOptions) (search.Options, error
 		} else {
 			sopts.Index = e.starIdx
 		}
+	}
+	// A shard engine defaults to the frontier prune, but only while the
+	// diameter stays inside the exactness horizon its ownedDist table was
+	// built for (the plan radius bounds both the halo and the distance
+	// cut-off); beyond it the shard already can't answer exactly and the
+	// prune must not silently narrow things further.
+	if e.ownedDist != nil && e.shard != nil && !opts.DisableFrontierPrune &&
+		sopts.Diameter <= 2*e.shard.Radius {
+		sopts.OwnedDist = e.ownedDist
 	}
 	return sopts, nil
 }

@@ -33,7 +33,19 @@ type cellDelta struct {
 	CurNs    int64
 	BaseAllo int64
 	CurAllo  int64
+	// BaseHalo and CurHalo carry the halo duplication factor on shard-mode
+	// cells (0 elsewhere). Unlike timings the factor is deterministic, so it
+	// is gated structurally: see structuralRegressions.
+	BaseHalo float64
+	CurHalo  float64
 }
+
+// haloSlack is the allowed relative growth of a cell's halo duplication
+// factor over its committed baseline. The factor is deterministic in the
+// plan inputs, so this is not a noise tolerance — it only keeps a sub-2%
+// wobble from an intentional strategy tweak from failing CI before the
+// baseline is recommitted alongside it.
+const haloSlack = 1.02
 
 // comparison is the full diff of two reports.
 type comparison struct {
@@ -61,7 +73,10 @@ func compareReports(base, cur report) comparison {
 			c.CurOnly = append(c.CurOnly, k)
 			continue
 		}
-		d := cellDelta{Key: k, BaseNs: b.NsPerOp, CurNs: r.NsPerOp, BaseAllo: b.Allocs, CurAllo: r.Allocs}
+		d := cellDelta{
+			Key: k, BaseNs: b.NsPerOp, CurNs: r.NsPerOp, BaseAllo: b.Allocs, CurAllo: r.Allocs,
+			BaseHalo: b.HaloDup, CurHalo: r.HaloDup,
+		}
 		if b.NsPerOp > 0 {
 			d.Ratio = float64(r.NsPerOp) / float64(b.NsPerOp)
 		}
@@ -88,6 +103,20 @@ func (c comparison) regressions(tolerance float64) []cellDelta {
 	return out
 }
 
+// structuralRegressions returns the cells whose halo duplication factor grew
+// past the committed baseline. Cells without a baseline factor (older
+// reports, non-shard grids) never fail; a cell that lost its factor entirely
+// does, because silently dropping the column would disarm the gate.
+func (c comparison) structuralRegressions() []cellDelta {
+	var out []cellDelta
+	for _, d := range c.Deltas {
+		if d.BaseHalo > 0 && (d.CurHalo > d.BaseHalo*haloSlack || d.CurHalo == 0) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // render writes the delta table in a stable, line-oriented form.
 func (c comparison) render(w *os.File, tolerance float64) {
 	fmt.Fprintf(w, "cirank-bench: %d matched cells (tolerance %.1fx)\n", len(c.Deltas), tolerance)
@@ -96,8 +125,15 @@ func (c comparison) render(w *os.File, tolerance float64) {
 		if d.Ratio > tolerance {
 			mark = "!"
 		}
-		fmt.Fprintf(w, "%s %-12s scale=%-5g workers=%-2d%s  %.2fx  (%d -> %d ns/op, %d -> %d allocs)\n",
-			mark, d.Key.Stage, d.Key.Scale, d.Key.Workers, kSuffix(d.Key), d.Ratio, d.BaseNs, d.CurNs, d.BaseAllo, d.CurAllo)
+		if d.BaseHalo > 0 && (d.CurHalo > d.BaseHalo*haloSlack || d.CurHalo == 0) {
+			mark = "!"
+		}
+		halo := ""
+		if d.BaseHalo > 0 || d.CurHalo > 0 {
+			halo = fmt.Sprintf(", halo %.2f -> %.2f", d.BaseHalo, d.CurHalo)
+		}
+		fmt.Fprintf(w, "%s %-12s scale=%-5g workers=%-2d%s  %.2fx  (%d -> %d ns/op, %d -> %d allocs%s)\n",
+			mark, d.Key.Stage, d.Key.Scale, d.Key.Workers, kSuffix(d.Key), d.Ratio, d.BaseNs, d.CurNs, d.BaseAllo, d.CurAllo, halo)
 	}
 	for _, k := range c.BaseOnly {
 		fmt.Fprintf(w, "? baseline-only cell: %s scale=%g workers=%d%s\n", k.Stage, k.Scale, k.Workers, kSuffix(k))

@@ -48,6 +48,46 @@ func TestCompareReports(t *testing.T) {
 	}
 }
 
+// haloCell is a shard-mode grid cell carrying a halo duplication factor.
+func haloCell(stage string, workers int, ns int64, halo float64) benchResult {
+	return benchResult{Stage: stage, Scale: 0.25, Workers: workers, NsPerOp: ns, HaloDup: halo}
+}
+
+func TestCompareStructuralRegressions(t *testing.T) {
+	base := report{Results: []benchResult{
+		haloCell("shard4", 1, 1000, 1.60),
+		haloCell("shard4-contiguous", 0, 0, 3.90),
+		haloCell("shard2", 1, 800, 1.30),
+		cell("pipeline", 0.25, 1, 500, 5), // no factor on either side
+	}}
+	cur := report{Results: []benchResult{
+		haloCell("shard4", 1, 4000, 1.60),         // 4x slower but structurally clean
+		haloCell("shard4-contiguous", 0, 0, 3.90), // unchanged
+		haloCell("shard2", 1, 800, 1.45),          // factor grew past the 2% slack
+		cell("pipeline", 0.25, 1, 510, 5),         // still no factor: never structural
+	}}
+	c := compareReports(base, cur)
+	sreg := c.structuralRegressions()
+	if len(sreg) != 1 || sreg[0].Key.Stage != "shard2" {
+		t.Fatalf("structuralRegressions = %+v, want exactly the shard2 cell", sreg)
+	}
+	// Timing noise stays a timing concern: the 4x cell is a perf regression,
+	// not a structural one.
+	if reg := c.regressions(3); len(reg) != 1 || reg[0].Key.Stage != "shard4" {
+		t.Fatalf("regressions(3) = %+v, want exactly the shard4 cell", reg)
+	}
+	// Growth within the slack passes.
+	cur.Results[2].HaloDup = 1.31
+	if sreg := compareReports(base, cur).structuralRegressions(); len(sreg) != 0 {
+		t.Fatalf("within-slack growth flagged: %+v", sreg)
+	}
+	// Dropping the factor entirely must not disarm the gate.
+	cur.Results[2].HaloDup = 0
+	if sreg := compareReports(base, cur).structuralRegressions(); len(sreg) != 1 {
+		t.Fatalf("lost factor not flagged: %+v", sreg)
+	}
+}
+
 func TestCompareZeroBaselineNs(t *testing.T) {
 	base := report{Results: []benchResult{cell("pipeline", 1, 1, 0, 0)}}
 	cur := report{Results: []benchResult{cell("pipeline", 1, 1, 500, 0)}}

@@ -128,6 +128,15 @@ type benchResult struct {
 	// coordinator's time at the same scale, workers and k divided by this
 	// cell's time — the scatter-gather scaling headline.
 	SpeedupVsShard1 float64 `json:"speedup_vs_shard1,omitempty"`
+	// HaloDup, set on shard-mode cells, is the partition plan's halo
+	// duplication factor: the sum of every shard subgraph's edges divided by
+	// the corpus edge count (1.0 = no replication). It is deterministic in
+	// (dataset, seed, scale, shard count, strategy), so -compare gates on it
+	// structurally: growth past the committed baseline fails with exit code
+	// 3, unlike timing cells which only warn within the noise tolerance.
+	// The shardN-contiguous cells carry the legacy contiguous split's factor
+	// for the same partition as an untimed before/after reference.
+	HaloDup float64 `json:"halo_dup_factor,omitempty"`
 }
 
 // report is the BENCH_build.json document.
@@ -299,8 +308,10 @@ func main() {
 			"the coordinator overhead is in every cell). speedup_vs_shard1 compares against " +
 			"the single-shard coordinator at the same workers and k; the scatter runs shards " +
 			"concurrently, so exceeding 1 needs gomaxprocs>1 and halos smaller than the " +
-			"corpus (the run log reports each set's halo duplication factor). Rankings are " +
-			"byte-identical at every shard count."
+			"corpus. halo_dup_factor is the plan's summed shard edges over corpus edges " +
+			"(deterministic, structurally gated by -compare: growth past the baseline exits 3); " +
+			"the untimed shardN-contiguous cells carry the legacy contiguous split's factor as " +
+			"the before-arm. Rankings are byte-identical at every shard count and strategy."
 	}
 
 	for _, scale := range scaleList {
@@ -357,6 +368,12 @@ func main() {
 		}
 		c := compareReports(baseline, rep)
 		c.render(os.Stderr, *tolerance)
+		// Structural regressions exit with a distinct code so CI can gate
+		// hard on them while leaving timing cells warn-only on noisy runners.
+		if sreg := c.structuralRegressions(); len(sreg) > 0 {
+			fmt.Fprintf(os.Stderr, "cirank-bench: error: %d cells grew their halo duplication factor past the baseline\n", len(sreg))
+			os.Exit(3)
+		}
 		if reg := c.regressions(*tolerance); len(reg) > 0 {
 			fail(fmt.Errorf("%d cells regressed past %gx", len(reg), *tolerance))
 		}

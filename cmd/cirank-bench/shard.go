@@ -16,6 +16,7 @@ import (
 
 	"cirank"
 	"cirank/internal/searchbench"
+	"cirank/internal/shard"
 )
 
 // shardRadius is the halo radius the shard grid partitions with. A radius-r
@@ -50,6 +51,7 @@ func runShardScale(dataset string, scale float64, dataSeed, querySeed int64, sha
 		dataset, scale, eng.NumNodes(), eng.NumEdges(), len(w.Queries), len(w.Stream))
 
 	var out []benchResult
+	var curDup float64
 	cell := func(stage string, workers, k int, run func(i int) error) error {
 		m, err := measureStream(run, len(w.Stream), benchtime)
 		if err != nil {
@@ -68,6 +70,7 @@ func runShardScale(dataset string, scale float64, dataSeed, querySeed int64, sha
 			P99Ns:          m.p99Ns,
 			QPS:            round2(m.qps),
 			AllocsPerQuery: round2(m.allocsPerQuery),
+			HaloDup:        curDup,
 		})
 		fmt.Fprintf(os.Stderr, "cirank-bench:   stage=%s workers=%d k=%d: p50 %d ns, p99 %d ns, %.0f q/s, %.0f allocs/query (%d queries)\n",
 			stage, workers, k, m.p50Ns, m.p99Ns, m.qps, m.allocsPerQuery, m.n)
@@ -83,12 +86,29 @@ func runShardScale(dataset string, scale float64, dataSeed, querySeed int64, sha
 		if err != nil {
 			return nil, err
 		}
+		// The benched set's duplication factor comes from the engines
+		// themselves: each shard subgraph is member-induced, so summed shard
+		// edges over corpus edges IS the plan's factor. The contiguous split
+		// of the same graph rides along as the untimed before-arm.
 		haloEdges := 0
 		for _, sh := range engines {
 			haloEdges += sh.NumEdges()
 		}
-		fmt.Fprintf(os.Stderr, "cirank-bench: shards=%d radius=%d: %d halo edges (%.2fx corpus)\n",
-			count, shardRadius, haloEdges, float64(haloEdges)/float64(eng.NumEdges()))
+		curDup = round2(float64(haloEdges) / float64(eng.NumEdges()))
+		contPlan, err := shard.NewPlan(w.G, count, shardRadius, shard.Contiguous)
+		if err != nil {
+			return nil, err
+		}
+		contDup := round2(contPlan.DuplicationFactor(w.G))
+		out = append(out, benchResult{
+			Stage:   fmt.Sprintf("shard%d-contiguous", count),
+			Scale:   scale,
+			Nodes:   eng.NumNodes(),
+			Edges:   eng.NumEdges(),
+			HaloDup: contDup,
+		})
+		fmt.Fprintf(os.Stderr, "cirank-bench: shards=%d radius=%d: %d halo edges, dup %.2fx locality vs %.2fx contiguous\n",
+			count, shardRadius, haloEdges, curDup, contDup)
 		for _, k := range kList {
 			for _, workers := range workerList {
 				opts := cirank.SearchOptions{Diameter: searchDiameter, Workers: workers}

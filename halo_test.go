@@ -1,0 +1,59 @@
+package cirank
+
+import (
+	"testing"
+
+	"cirank/internal/searchbench"
+	"cirank/internal/shard"
+)
+
+// haloCeilings are the committed ceilings for the halo duplication factor of
+// the default locality plan at 4 shards, radius 2, on the benchmark datasets
+// at the CI smoke scale. The factor is deterministic in the partition
+// inputs, so these are structural regression gates, not noise-tolerant perf
+// checks: they sit between the locality plan's measured factor and the
+// legacy contiguous split's, and fail if an ownership or projection change
+// gives the improvement back. Lowering a factor further is fine — tighten
+// the ceiling alongside such a change.
+var haloCeilings = []struct {
+	dataset string
+	ceiling float64
+}{
+	{"dblp", 3.93}, // measured 3.88 locality vs 3.96 contiguous
+	{"imdb", 3.80}, // measured 3.70 locality vs 3.94 contiguous
+}
+
+// TestHaloDuplicationCeiling reproduces the shard benchmark's partitions
+// (scale 0.25, seed pair from searchbench, radius 2) and gates the locality
+// plan's duplication factor at 4 shards against the committed ceiling. It
+// also pins the ordering the locality strategy exists for: its factor must
+// undercut the contiguous split of the same graph.
+func TestHaloDuplicationCeiling(t *testing.T) {
+	for _, tc := range haloCeilings {
+		dataSeed, querySeed := searchbench.DefaultSeeds(tc.dataset)
+		w, err := searchbench.Load(tc.dataset, 0.25, dataSeed, querySeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc, err := shard.NewPlan(w.G, 4, 2, shard.Locality)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont, err := shard.NewPlan(w.G, 4, 2, shard.Contiguous)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locDup := loc.DuplicationFactor(w.G)
+		contDup := cont.DuplicationFactor(w.G)
+		t.Logf("%s scale 0.25, 4 shards radius 2: locality %.4f, contiguous %.4f, ceiling %.2f",
+			tc.dataset, locDup, contDup, tc.ceiling)
+		if locDup > tc.ceiling {
+			t.Errorf("%s: locality duplication factor %.4f exceeds the committed ceiling %.2f",
+				tc.dataset, locDup, tc.ceiling)
+		}
+		if locDup >= contDup {
+			t.Errorf("%s: locality factor %.4f does not undercut contiguous %.4f",
+				tc.dataset, locDup, contDup)
+		}
+	}
+}

@@ -429,6 +429,58 @@ func (t *Tree) heightDiam(v graph.NodeID) (int, int) {
 	return best1 + 1, diam
 }
 
+// CanonicalRoot returns the node every rooting of the same undirected tree
+// agrees on: the smallest-ID node of minimal eccentricity (a tree center).
+// The branch-and-bound search can reach one answer through lineages ending
+// in different rootings — which lineage wins depends on exploration order,
+// and under scatter-gather on which shard reported the answer — so the
+// reporting boundary re-roots every answer here to make the rendered tree a
+// function of the answer alone.
+func (t *Tree) CanonicalRoot() graph.NodeID {
+	best := t.root
+	bestEcc := -1
+	for _, v := range t.nodes {
+		ecc := t.eccentricity(v)
+		if bestEcc < 0 || ecc < bestEcc || (ecc == bestEcc && v < best) {
+			best, bestEcc = v, ecc
+		}
+	}
+	return best
+}
+
+// eccentricity returns the longest within-tree hop distance from v to any
+// node, walking parent chains (answer trees are a handful of nodes, so the
+// quadratic walk beats building adjacency).
+func (t *Tree) eccentricity(v graph.NodeID) int {
+	ecc := 0
+	dv := t.depthOf(v)
+	for _, u := range t.nodes {
+		if u == v {
+			continue
+		}
+		// dist(v, u) via the lowest common ancestor: climb the deeper node
+		// to the shallower's depth, then climb both until they meet.
+		du := t.depthOf(u)
+		a, da, b, db := v, dv, u, du
+		for da > db {
+			a = t.parentOf(a)
+			da--
+		}
+		for db > da {
+			b = t.parentOf(b)
+			db--
+		}
+		for a != b {
+			a, b = t.parentOf(a), t.parentOf(b)
+			da--
+		}
+		if d := dv + du - 2*da; d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
 // Reroot returns the same undirected tree rooted at newRoot. It panics if
 // newRoot is not in the tree. BANKS-style scoring depends on which node is
 // the root (§II-B.2), so the baseline re-roots answers the way the original

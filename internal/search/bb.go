@@ -125,7 +125,10 @@ func (st *bbState) interrupted() bool {
 // key, so the order is a total one). The result is optimal (Theorem 1): no
 // valid answer tree within the diameter limit scores higher than the k-th
 // returned answer, unless Stats.Truncated reports an early stop via
-// MaxExpansions.
+// MaxExpansions. With Options.OwnedDist set the guarantee is scoped to the
+// shard: it covers every answer with a center rooting in the owned set, and
+// a scatter-gather coordinator recovers the global guarantee by unioning
+// shards whose owned sets cover the graph.
 //
 // Candidate evaluation fans out across Options.Workers goroutines; the
 // ranked answers (trees and scores) are identical for every worker count.
@@ -158,6 +161,10 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 	if err := s.checkScores(opts); err != nil {
 		return nil, Stats{}, err
 	}
+	if opts.OwnedDist != nil && len(opts.OwnedDist) != s.m.Graph().NumNodes() {
+		return nil, Stats{}, fmt.Errorf("%w: OwnedDist has %d entries, graph has %d nodes",
+			ErrBadOptions, len(opts.OwnedDist), s.m.Graph().NumNodes())
+	}
 	sc := s.getScratch()
 	defer s.putScratch(sc)
 	qc, ok, err := s.prepareInto(sc, terms)
@@ -174,13 +181,19 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 	qc.maxDamp = s.m.MaxDamp()
 	st := newBBState(s, sc, opts, nw)
 	st.done = ctx.Done()
+	halfD := halfDiameter(opts.Diameter)
 	seeds := sc.grown[:0]
 	for _, v := range qc.nonFree {
+		// Frontier prune at the seed: a single-node tree has depth 0, so
+		// it survives iff its node sits within ⌈D/2⌉ hops of the owned set
+		// (always, when pruning is off).
+		if d := ownedDistAt(opts.OwnedDist, v); d < 0 || int(d) > halfD {
+			continue
+		}
 		seeds = append(seeds, sc.arena.NewSingle(v))
 	}
 	sc.grown = seeds
 	st.process(seeds)
-	halfD := halfDiameter(opts.Diameter)
 	for st.pq.Len() > 0 && !st.interrupted() {
 		// Pop a batch of frontier candidates. Lemma 1: once the best
 		// remaining upper bound cannot beat the current k-th answer,
@@ -216,7 +229,14 @@ func (s *Searcher) TopKContext(ctx context.Context, terms []string, opts Options
 				if err != nil {
 					continue
 				}
-				if g.Depth() > halfD {
+				// Half-diameter depth limit, fused with the frontier prune:
+				// the grown tree is re-rooted at nb, so its budget for
+				// growing into an owned-centered answer is depth plus nb's
+				// distance to the owned set. With pruning off the distance
+				// reads as 0 and this is the plain depth ≤ ⌈D/2⌉ check.
+				// Merges need no counterpart — they keep both roots and take
+				// the max depth, so the invariant carries over.
+				if d := ownedDistAt(opts.OwnedDist, nb); d < 0 || g.Depth()+int(d) > halfD {
 					continue
 				}
 				grown = append(grown, g)

@@ -17,6 +17,9 @@ import (
 type Config struct {
 	// Count is the number of shards, Radius the halo depth; see NewPlan.
 	Count, Radius int
+	// Strategy selects the ownership assignment; the zero value is
+	// Locality, the graph-aware default.
+	Strategy Strategy
 	// Importance is the global importance (PageRank) vector.
 	Importance []float64
 	// Damp is the global per-node dampening-rate vector (Eq. 2).
@@ -51,6 +54,13 @@ type Shard struct {
 	Searcher *search.Searcher
 	// Star is the shard-local §V-B index, nil when Config skipped it.
 	Star *pathindex.StarIndex
+	// OwnedDist holds each node's undirected hop distance to the shard's
+	// owned set, measured over the shard subgraph and cut off at the plan
+	// radius (-1 beyond it). Feeding it to search.Options.OwnedDist turns
+	// on the frontier prune; the shard subgraph contains every owned-
+	// centered answer tree whole, so subgraph distances never exceed
+	// within-tree ones and the prune stays exact.
+	OwnedDist []int32
 }
 
 // Build partitions g per cfg and assembles one Shard per part. The result
@@ -60,14 +70,14 @@ func Build(ctx context.Context, g *graph.Graph, cfg Config) (*Plan, []*Shard, er
 	if len(cfg.Importance) != n || len(cfg.Damp) != n {
 		return nil, nil, fmt.Errorf("shard: importance/damp length mismatch with %d nodes", n)
 	}
-	plan, err := NewPlan(g, cfg.Count, cfg.Radius)
+	plan, err := NewPlan(g, cfg.Count, cfg.Radius, cfg.Strategy)
 	if err != nil {
 		return nil, nil, err
 	}
 	shards := make([]*Shard, cfg.Count)
 	for i := range plan.Parts {
 		p := &plan.Parts[i]
-		sg := Project(g, p)
+		sg := Project(g, p, cfg.Radius)
 		ix, err := textindex.BuildContext(ctx, sg, cfg.Workers)
 		if err != nil {
 			return nil, nil, err
@@ -76,7 +86,10 @@ func Build(ctx context.Context, g *graph.Graph, cfg Config) (*Plan, []*Shard, er
 		if err != nil {
 			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		sh := &Shard{Part: *p, G: sg, Ix: ix, Model: m, Searcher: search.New(m)}
+		sh := &Shard{
+			Part: *p, G: sg, Ix: ix, Model: m, Searcher: search.New(m),
+			OwnedDist: OwnedDistances(sg, p.Owned, cfg.Radius),
+		}
 		if cfg.IsStar != nil && cfg.StarDepth >= 1 {
 			// Star flags masked to members: halo-restricted edges keep the
 			// vertex-cover property (removing edges never uncovers one),

@@ -13,6 +13,12 @@ import (
 // search layer.
 type Set struct {
 	shards []*Shard
+	// NoPrune disables the per-shard frontier prune: each leg then explores
+	// every tree its subgraph holds instead of only the ones centered near
+	// its owned set. Rankings are identical either way (the prune only
+	// drops trees some other shard also finds); the difftest sharded axis
+	// toggles this to certify exactly that.
+	NoPrune bool
 }
 
 // NewSet wraps built shards (see Build) into a coordinator.
@@ -29,8 +35,10 @@ func (s *Set) TopK(terms []string, opts search.Options) ([]search.Answer, search
 // whole graph — is replaced by the shard's own star index (or dropped when
 // the shard has none): bounds from a whole-graph index would still be
 // admissible, but per-shard indexes are what a deployed shard actually
-// holds. The merged ranking is byte-identical to a single whole-graph search
-// for every shard count, worker count and index choice.
+// holds. Unless NoPrune is set, each leg also receives the shard's OwnedDist
+// so it prunes trees centered far from its owned set. The merged ranking is
+// byte-identical to a single whole-graph search for every shard count,
+// worker count, index choice and prune setting.
 func (s *Set) TopKContext(ctx context.Context, terms []string, opts search.Options) ([]search.Answer, search.Stats, error) {
 	lists := make([][]search.Answer, len(s.shards))
 	stats := make([]search.Stats, len(s.shards))
@@ -47,6 +55,9 @@ func (s *Set) TopKContext(ctx context.Context, terms []string, opts search.Optio
 				} else {
 					so.Index = nil
 				}
+			}
+			if !s.NoPrune {
+				so.OwnedDist = sh.OwnedDist
 			}
 			lists[i], stats[i], errs[i] = sh.Searcher.TopKContext(ctx, terms, so)
 		}(i, sh)

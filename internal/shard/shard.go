@@ -4,15 +4,18 @@
 //
 // # Partitioning scheme
 //
-// Ownership is a contiguous range split of the dense node-ID space: shard i
-// of N owns nodes [i·n/N, (i+1)·n/N). Every shard then replicates a halo
-// around its owned range — all nodes within Radius undirected hops of an
-// owned node — and materializes the member-induced subgraph. The halo makes
-// shards self-sufficient: an answer tree of diameter ≤ D has a center node
-// whose tree-eccentricity is at most ⌈D/2⌉, so as long as Radius ≥ ⌈D/2⌉
-// the shard owning the center contains the whole tree. Every valid answer
-// is therefore discoverable by at least one shard locally, with no
-// cross-shard tree assembly.
+// Ownership is a disjoint cover of the dense node-ID space: every node is
+// owned by exactly one shard. How nodes are assigned is the plan's Strategy —
+// the legacy Contiguous range split, or the default Locality split that
+// chunks a Cuthill–McKee traversal order so each shard owns one connected
+// region (see locality.go). Every shard then replicates a halo around its
+// owned set — all nodes within Radius undirected hops of an owned node — and
+// materializes the member-induced subgraph. The halo makes shards
+// self-sufficient: an answer tree of diameter ≤ D has a center node whose
+// tree-eccentricity is at most ⌈D/2⌉, so as long as Radius ≥ ⌈D/2⌉ the shard
+// owning the center contains the whole tree. Every valid answer is therefore
+// discoverable by at least one shard locally, with no cross-shard tree
+// assembly.
 //
 // # Why shard scores are bitwise global scores
 //
@@ -31,6 +34,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 
 	"cirank/internal/graph"
 )
@@ -39,11 +43,11 @@ import (
 type Part struct {
 	// Index is the shard's position in [0, Count).
 	Index int
-	// Lo and Hi delimit the owned node range [Lo, Hi); the owned ranges of
-	// a plan's parts partition the whole ID space. Hi == Lo for shards of
-	// a plan with more parts than nodes.
-	Lo, Hi graph.NodeID
-	// Member flags every node of the shard subgraph: the owned range plus
+	// Owned lists the shard's owned node IDs in ascending order. The owned
+	// sets of a plan's parts are disjoint and cover the whole ID space.
+	// Owned is empty for shards of a plan with more parts than nodes.
+	Owned []graph.NodeID
+	// Member flags every node of the shard subgraph: the owned set plus
 	// the halo of nodes within Radius undirected hops of it. Length is the
 	// full graph's node count.
 	Member []bool
@@ -53,7 +57,22 @@ type Part struct {
 
 // Owns reports whether the shard owns node v (as opposed to merely
 // replicating it in its halo).
-func (p *Part) Owns(v graph.NodeID) bool { return v >= p.Lo && v < p.Hi }
+func (p *Part) Owns(v graph.NodeID) bool {
+	i := sort.Search(len(p.Owned), func(i int) bool { return p.Owned[i] >= v })
+	return i < len(p.Owned) && p.Owned[i] == v
+}
+
+// Span returns the half-open ID interval [lo, hi) bounding the owned set,
+// with lo == hi for an empty set. Under the Contiguous strategy the span IS
+// the owned set; under Locality it merely bounds it. The snapshot records
+// the span alongside the explicit owned list so legacy readers still see a
+// meaningful range.
+func (p *Part) Span() (lo, hi graph.NodeID) {
+	if len(p.Owned) == 0 {
+		return 0, 0
+	}
+	return p.Owned[0], p.Owned[len(p.Owned)-1] + 1
+}
 
 // Plan is a deterministic partitioning of a graph into Count overlapping
 // shards with halo radius Radius.
@@ -65,15 +84,19 @@ type Plan struct {
 	// Radius is the halo depth in undirected hops. Searches on the plan's
 	// shards are exact for answer diameters up to 2·Radius.
 	Radius int
+	// Strategy records how ownership was assigned.
+	Strategy Strategy
 	// Parts holds one entry per shard, in shard-index order.
 	Parts []Part
 }
 
-// NewPlan splits g into count shards with the given halo radius. The split
-// is deterministic: contiguous owned ranges, halo by breadth-first search
-// over edges taken undirected. count may exceed the node count; the excess
-// shards are empty.
-func NewPlan(g *graph.Graph, count, radius int) (*Plan, error) {
+// NewPlan splits g into count shards with the given halo radius, assigning
+// ownership per strategy. The split is deterministic in (g, count, radius,
+// strategy): the owned sets are chunks of a node order — raw IDs for
+// Contiguous, the Cuthill–McKee traversal for Locality — and the halo is a
+// breadth-first search over edges taken undirected. count may exceed the
+// node count; the excess shards are empty.
+func NewPlan(g *graph.Graph, count, radius int, strategy Strategy) (*Plan, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("shard: count %d, want at least 1", count)
 	}
@@ -81,44 +104,63 @@ func NewPlan(g *graph.Graph, count, radius int) (*Plan, error) {
 		return nil, fmt.Errorf("shard: radius %d, want at least 1", radius)
 	}
 	n := g.NumNodes()
+	var order []graph.NodeID
+	switch strategy {
+	case Contiguous:
+		order = make([]graph.NodeID, n)
+		for v := range order {
+			order[v] = graph.NodeID(v)
+		}
+	case Locality:
+		order = localityOrder(g)
+	default:
+		return nil, fmt.Errorf("shard: unknown strategy %d", int(strategy))
+	}
+	plan := &Plan{NumNodes: n, Count: count, Radius: radius, Strategy: strategy, Parts: make([]Part, count)}
 	rev := reverseAdjacency(g)
-	plan := &Plan{NumNodes: n, Count: count, Radius: radius, Parts: make([]Part, count)}
 	for i := 0; i < count; i++ {
-		lo, hi := graph.NodeID(i*n/count), graph.NodeID((i+1)*n/count)
-		p := Part{Index: i, Lo: lo, Hi: hi, Member: make([]bool, n)}
-		// Multi-source BFS from the owned range, following edges in both
-		// directions: answer trees connect nodes regardless of edge
-		// orientation, so the halo must too.
-		frontier := make([]graph.NodeID, 0, hi-lo)
-		for v := lo; v < hi; v++ {
-			p.Member[v] = true
-			frontier = append(frontier, v)
-		}
-		p.Members = len(frontier)
-		var next []graph.NodeID
-		for depth := 0; depth < radius && len(frontier) > 0; depth++ {
-			next = next[:0]
-			for _, u := range frontier {
-				for _, e := range g.OutEdges(u) {
-					if !p.Member[e.To] {
-						p.Member[e.To] = true
-						p.Members++
-						next = append(next, e.To)
-					}
-				}
-				for _, w := range rev[u] {
-					if !p.Member[w] {
-						p.Member[w] = true
-						p.Members++
-						next = append(next, w)
-					}
-				}
-			}
-			frontier, next = next, frontier
-		}
-		plan.Parts[i] = p
+		owned := append([]graph.NodeID(nil), order[i*n/count:(i+1)*n/count]...)
+		sort.Slice(owned, func(a, b int) bool { return owned[a] < owned[b] })
+		plan.Parts[i] = newPart(g, rev, i, owned, radius)
 	}
 	return plan, nil
+}
+
+// newPart assembles one shard part: the sorted owned set plus the
+// radius-hop halo membership computed by a multi-source BFS from the owned
+// nodes, following edges in both directions — answer trees connect nodes
+// regardless of edge orientation, so the halo must too.
+func newPart(g *graph.Graph, rev [][]graph.NodeID, index int, owned []graph.NodeID, radius int) Part {
+	n := g.NumNodes()
+	p := Part{Index: index, Owned: owned, Member: make([]bool, n)}
+	frontier := make([]graph.NodeID, 0, len(owned))
+	for _, v := range owned {
+		p.Member[v] = true
+		frontier = append(frontier, v)
+	}
+	p.Members = len(frontier)
+	var next []graph.NodeID
+	for depth := 0; depth < radius && len(frontier) > 0; depth++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, e := range g.OutEdges(u) {
+				if !p.Member[e.To] {
+					p.Member[e.To] = true
+					p.Members++
+					next = append(next, e.To)
+				}
+			}
+			for _, w := range rev[u] {
+				if !p.Member[w] {
+					p.Member[w] = true
+					p.Members++
+					next = append(next, w)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return p
 }
 
 // reverseAdjacency lists, for each node, the sources of its incoming edges.
@@ -132,13 +174,25 @@ func reverseAdjacency(g *graph.Graph) [][]graph.NodeID {
 	return rev
 }
 
-// Project materializes the member-induced subgraph of one shard in the
-// global ID space: the subgraph has the same node count as g, member nodes
-// keep their full records and their edges to other members, non-members
-// become empty records with no edges. Keeping global IDs is what makes
-// canonical tree keys — and therefore the Gather merge order and dedup —
-// comparable across shards.
-func Project(g *graph.Graph, p *Part) *graph.Graph {
+// Project materializes the subgraph one shard stores, in the global ID
+// space: the subgraph has the same node count as g, member nodes keep their
+// full records, non-members become empty records with no edges. Keeping
+// global IDs is what makes canonical tree keys — and therefore the Gather
+// merge order and dedup — comparable across shards.
+//
+// Edges are the member-induced set minus the rim: an edge both of whose
+// endpoints sit at distance exactly radius from the owned set is dropped.
+// Every tree of depth ≤ radius centered at an owned node keeps all its
+// edges — a tree edge always has one endpoint at tree depth ≤ radius-1, and
+// hop distance to the owned set never exceeds tree depth from an owned
+// center — so the shard still holds every answer it is responsible for
+// whole. The trim also preserves every shortest path from the owned set
+// (consecutive distances differ by one, so each path edge has an endpoint
+// under radius), which keeps distances over the stored subgraph equal to
+// distances over g and makes the load-time OwnedDistances recomputation
+// land on the build-time values.
+func Project(g *graph.Graph, p *Part, radius int) *graph.Graph {
+	dist := OwnedDistances(g, p.Owned, radius)
 	b := graph.NewBuilder(g.NumNodes())
 	for v := 0; v < g.NumNodes(); v++ {
 		id := graph.NodeID(v)
@@ -148,13 +202,14 @@ func Project(g *graph.Graph, p *Part) *graph.Graph {
 			b.AddNode(graph.Node{})
 		}
 	}
+	rim := int32(radius)
 	for v := 0; v < g.NumNodes(); v++ {
 		id := graph.NodeID(v)
 		if !p.Member[v] {
 			continue
 		}
 		for _, e := range g.OutEdges(id) {
-			if p.Member[e.To] {
+			if p.Member[e.To] && (dist[v] < rim || dist[e.To] < rim) {
 				b.AddEdge(id, e.To, e.Weight)
 			}
 		}

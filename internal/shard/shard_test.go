@@ -2,6 +2,7 @@ package shard
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"cirank/internal/graph"
@@ -23,83 +24,330 @@ func chainGraph(n int) *graph.Graph {
 	return b.Build()
 }
 
-func TestNewPlanInvariants(t *testing.T) {
-	g := chainGraph(10)
-	for _, count := range []int{1, 2, 3, 4, 10, 15} {
-		plan, err := NewPlan(g, count, 2)
-		if err != nil {
-			t.Fatalf("count %d: %v", count, err)
+// interleavedChains builds two disjoint chains whose node IDs interleave:
+// even IDs form one path, odd IDs the other. A contiguous ID split cuts both
+// chains and pays halo on every cut; the locality order walks one component
+// at a time, so a two-way split owns one whole chain each with no halo.
+func interleavedChains(m int) *graph.Graph {
+	n := 2 * m
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Node{Relation: "R", Key: string(rune('a' + i)), Text: "node", Words: 1})
+	}
+	for i := 0; i+2 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+2), 1)
+		b.AddEdge(graph.NodeID(i+2), graph.NodeID(i), 0.5)
+	}
+	return b.Build()
+}
+
+// referenceDistances is an independent check for halo membership: undirected
+// hop distance from the owned set by plain BFS over an adjacency list built
+// from scratch (-1 when unreached within maxDepth).
+func referenceDistances(g *graph.Graph, owned []graph.NodeID, maxDepth int) []int {
+	n := g.NumNodes()
+	adj := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		for _, e := range g.OutEdges(graph.NodeID(v)) {
+			adj[v] = append(adj[v], e.To)
+			adj[e.To] = append(adj[e.To], graph.NodeID(v))
 		}
-		if len(plan.Parts) != count {
-			t.Fatalf("count %d: %d parts", count, len(plan.Parts))
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]graph.NodeID, 0, len(owned))
+	for _, v := range owned {
+		if dist[v] < 0 {
+			dist[v] = 0
+			queue = append(queue, v)
 		}
-		// Owned ranges partition [0, n).
-		prev := graph.NodeID(0)
-		for i, p := range plan.Parts {
-			if p.Lo != prev {
-				t.Fatalf("count %d: part %d starts at %d, want %d", count, i, p.Lo, prev)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == maxDepth {
+			continue
+		}
+		for _, w := range adj[u] {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
 			}
-			if p.Hi < p.Lo {
-				t.Fatalf("count %d: part %d inverted range", count, i)
+		}
+	}
+	return dist
+}
+
+func checkPlanInvariants(t *testing.T, g *graph.Graph, plan *Plan) {
+	t.Helper()
+	if len(plan.Parts) != plan.Count {
+		t.Fatalf("%d parts, want %d", len(plan.Parts), plan.Count)
+	}
+	owner := make([]int, g.NumNodes())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i := range plan.Parts {
+		p := &plan.Parts[i]
+		if p.Index != i {
+			t.Fatalf("part %d has Index %d", i, p.Index)
+		}
+		// Owned is strictly ascending and in range; ownership is exclusive.
+		for j, v := range p.Owned {
+			if j > 0 && p.Owned[j-1] >= v {
+				t.Fatalf("part %d Owned not strictly ascending at %d", i, j)
 			}
-			prev = p.Hi
-			// Every owned node is a member; membership within radius hops.
-			for v := p.Lo; v < p.Hi; v++ {
-				if !p.Member[v] {
-					t.Fatalf("count %d: part %d does not contain owned node %d", count, i, v)
-				}
+			if int(v) >= g.NumNodes() {
+				t.Fatalf("part %d owns out-of-range node %d", i, v)
 			}
-			members := 0
-			for v, m := range p.Member {
-				if !m {
-					continue
-				}
+			if owner[v] != -1 {
+				t.Fatalf("node %d owned by parts %d and %d", v, owner[v], i)
+			}
+			owner[v] = i
+		}
+		// Owns agrees with the list for every node.
+		for v := 0; v < g.NumNodes(); v++ {
+			want := owner[v] == i
+			if got := p.Owns(graph.NodeID(v)); got != want {
+				t.Fatalf("part %d Owns(%d) = %v, want %v", i, v, got, want)
+			}
+		}
+		// Span bounds the owned set; (0, 0) signals empty.
+		lo, hi := p.Span()
+		if len(p.Owned) == 0 {
+			if lo != 0 || hi != 0 {
+				t.Fatalf("part %d empty span = [%d, %d)", i, lo, hi)
+			}
+		} else if lo != p.Owned[0] || hi != p.Owned[len(p.Owned)-1]+1 {
+			t.Fatalf("part %d span [%d, %d) does not bound owned set", i, lo, hi)
+		}
+		// Membership is exactly the owned set plus the radius-hop halo.
+		dist := referenceDistances(g, p.Owned, plan.Radius)
+		members := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			want := dist[v] >= 0
+			if p.Member[v] != want {
+				t.Fatalf("part %d Member[%d] = %v, want %v (distance %d, radius %d)",
+					i, v, p.Member[v], want, dist[v], plan.Radius)
+			}
+			if want {
 				members++
-				// On the chain, distance to the owned range is the gap.
-				d := 0
-				switch {
-				case graph.NodeID(v) < p.Lo:
-					d = int(p.Lo) - v
-				case graph.NodeID(v) >= p.Hi:
-					d = v - int(p.Hi) + 1
-				}
-				if d > plan.Radius {
-					t.Fatalf("count %d: part %d member %d is %d hops from the owned range (radius %d)",
-						count, i, v, d, plan.Radius)
-				}
-			}
-			if members != p.Members {
-				t.Fatalf("count %d: part %d Members=%d, counted %d", count, i, p.Members, members)
-			}
-			// The halo is complete: every node within radius hops is a member.
-			if p.Hi > p.Lo {
-				for v := 0; v < plan.NumNodes; v++ {
-					d := 0
-					switch {
-					case graph.NodeID(v) < p.Lo:
-						d = int(p.Lo) - v
-					case graph.NodeID(v) >= p.Hi:
-						d = v - int(p.Hi) + 1
-					}
-					if d <= plan.Radius && !p.Member[v] {
-						t.Fatalf("count %d: part %d misses halo node %d at distance %d", count, i, v, d)
-					}
-				}
 			}
 		}
-		if int(prev) != g.NumNodes() {
-			t.Fatalf("count %d: owned ranges end at %d of %d", count, prev, g.NumNodes())
+		if members != p.Members {
+			t.Fatalf("part %d Members = %d, counted %d", i, p.Members, members)
 		}
+	}
+	// Ownership covers every node.
+	for v, o := range owner {
+		if o == -1 {
+			t.Fatalf("node %d is unowned", v)
+		}
+	}
+}
+
+func TestNewPlanInvariants(t *testing.T) {
+	for _, strategy := range []Strategy{Contiguous, Locality} {
+		for _, g := range []*graph.Graph{chainGraph(10), interleavedChains(6)} {
+			for _, count := range []int{1, 2, 3, 4, 10, 15} {
+				plan, err := NewPlan(g, count, 2, strategy)
+				if err != nil {
+					t.Fatalf("%v count %d: %v", strategy, count, err)
+				}
+				checkPlanInvariants(t, g, plan)
+			}
+		}
+	}
+}
+
+// TestNewPlanContiguousRanges pins the legacy split: shard i owns the ID
+// range [i·n/count, (i+1)·n/count), which snapshots written before explicit
+// ownership rely on when they synthesize Owned from the span.
+func TestNewPlanContiguousRanges(t *testing.T) {
+	g := chainGraph(10)
+	plan, err := NewPlan(g, 3, 1, Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for i, p := range plan.Parts {
+		lo, hi := i*n/3, (i+1)*n/3
+		if len(p.Owned) != hi-lo {
+			t.Fatalf("part %d owns %d nodes, want %d", i, len(p.Owned), hi-lo)
+		}
+		for j, v := range p.Owned {
+			if int(v) != lo+j {
+				t.Fatalf("part %d Owned[%d] = %d, want %d", i, j, v, lo+j)
+			}
+		}
+	}
+}
+
+// TestNewPlanLocalityComponents checks the payoff case: with interleaved
+// component IDs, the locality order keeps each component in one chunk, so a
+// two-way split owns whole components and the halo is empty.
+func TestNewPlanLocalityComponents(t *testing.T) {
+	g := interleavedChains(6)
+	plan, err := NewPlan(g, 2, 2, Locality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Parts {
+		p := &plan.Parts[i]
+		if p.Members != len(p.Owned) {
+			t.Fatalf("part %d grew a halo: %d members, %d owned", i, p.Members, len(p.Owned))
+		}
+		// All-even or all-odd IDs: one component each.
+		parity := int(p.Owned[0]) % 2
+		for _, v := range p.Owned {
+			if int(v)%2 != parity {
+				t.Fatalf("part %d mixes components: owns %v", i, p.Owned)
+			}
+		}
+	}
+	if got := plan.DuplicationFactor(g); got != 1.0 {
+		t.Fatalf("locality duplication factor = %v, want exactly 1.0", got)
+	}
+	cont, err := NewPlan(g, 2, 2, Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cont.DuplicationFactor(g); c <= 1.0 {
+		t.Fatalf("contiguous duplication factor = %v, want > 1.0 on interleaved IDs", c)
+	}
+}
+
+// TestLocalityOrderIsPermutation guards the chunking precondition: every
+// node appears exactly once in the traversal order.
+func TestLocalityOrderIsPermutation(t *testing.T) {
+	for _, g := range []*graph.Graph{chainGraph(7), interleavedChains(5)} {
+		order := localityOrder(g)
+		if len(order) != g.NumNodes() {
+			t.Fatalf("order has %d entries, want %d", len(order), g.NumNodes())
+		}
+		sorted := append([]graph.NodeID(nil), order...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for v, id := range sorted {
+			if int(id) != v {
+				t.Fatalf("order is not a permutation: sorted[%d] = %d", v, id)
+			}
+		}
+	}
+}
+
+func TestNewPlanSingleShard(t *testing.T) {
+	g := chainGraph(6)
+	for _, strategy := range []Strategy{Contiguous, Locality} {
+		plan, err := NewPlan(g, 1, 3, strategy)
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		p := &plan.Parts[0]
+		if len(p.Owned) != g.NumNodes() || p.Members != g.NumNodes() {
+			t.Fatalf("%v: single shard owns %d / members %d, want all %d",
+				strategy, len(p.Owned), p.Members, g.NumNodes())
+		}
+		if lo, hi := p.Span(); lo != 0 || int(hi) != g.NumNodes() {
+			t.Fatalf("%v: single-shard span [%d, %d)", strategy, lo, hi)
+		}
+		// One shard replicates nothing: every edge is stored exactly once.
+		if d := plan.DuplicationFactor(g); d != 1.0 {
+			t.Fatalf("%v: single-shard duplication factor = %v, want 1.0", strategy, d)
+		}
+	}
+}
+
+func TestNewPlanMoreShardsThanNodes(t *testing.T) {
+	g := chainGraph(3)
+	plan, err := NewPlan(g, 5, 1, Locality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, g, plan)
+	empty := 0
+	for i := range plan.Parts {
+		p := &plan.Parts[i]
+		if len(p.Owned) > 0 {
+			continue
+		}
+		empty++
+		if p.Members != 0 {
+			t.Fatalf("empty part %d has %d members", i, p.Members)
+		}
+		if lo, hi := p.Span(); lo != 0 || hi != 0 {
+			t.Fatalf("empty part %d span [%d, %d), want [0, 0)", i, lo, hi)
+		}
+	}
+	if empty != 2 {
+		t.Fatalf("%d empty parts, want 2", empty)
 	}
 }
 
 func TestNewPlanValidation(t *testing.T) {
 	g := chainGraph(4)
-	if _, err := NewPlan(g, 0, 1); err == nil {
+	if _, err := NewPlan(g, 0, 1, Locality); err == nil {
 		t.Error("count 0 accepted")
 	}
-	if _, err := NewPlan(g, 2, 0); err == nil {
+	if _, err := NewPlan(g, 2, 0, Locality); err == nil {
 		t.Error("radius 0 accepted")
+	}
+	if _, err := NewPlan(g, 2, 1, Strategy(99)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Locality.String() != "locality" || Contiguous.String() != "contiguous" {
+		t.Fatalf("strategy names: %q, %q", Locality, Contiguous)
+	}
+	if Strategy(99).String() != "unknown" {
+		t.Fatalf("out-of-range strategy name: %q", Strategy(99))
+	}
+}
+
+func TestOwnedDistances(t *testing.T) {
+	g := chainGraph(7)
+	owned := []graph.NodeID{2, 3}
+	got := OwnedDistances(g, owned, 2)
+	want := []int32{2, 1, 0, 0, 1, 2, -1}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distances, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	// An empty owned set reaches nothing.
+	for v, d := range OwnedDistances(g, nil, 3) {
+		if d != -1 {
+			t.Fatalf("empty owned set: dist[%d] = %d", v, d)
+		}
+	}
+}
+
+// TestOwnedDistancesMatchPlanHalo ties the two BFS computations together:
+// membership of a part is exactly the set of nodes OwnedDistances reaches at
+// the plan radius, for both strategies.
+func TestOwnedDistancesMatchPlanHalo(t *testing.T) {
+	g := interleavedChains(6)
+	for _, strategy := range []Strategy{Contiguous, Locality} {
+		plan, err := NewPlan(g, 3, 2, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range plan.Parts {
+			p := &plan.Parts[i]
+			dist := OwnedDistances(g, p.Owned, plan.Radius)
+			for v := 0; v < g.NumNodes(); v++ {
+				if (dist[v] >= 0) != p.Member[v] {
+					t.Fatalf("%v part %d node %d: dist %d vs member %v",
+						strategy, i, v, dist[v], p.Member[v])
+				}
+			}
+		}
 	}
 }
 
@@ -109,11 +357,11 @@ func TestNewPlanValidation(t *testing.T) {
 // destination order.
 func TestProjectSingleShardIdentity(t *testing.T) {
 	g := chainGraph(6)
-	plan, err := NewPlan(g, 1, 1)
+	plan, err := NewPlan(g, 1, 1, Locality)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pg := Project(g, &plan.Parts[0])
+	pg := Project(g, &plan.Parts[0], plan.Radius)
 	if pg.NumNodes() != g.NumNodes() || pg.NumEdges() != g.NumEdges() {
 		t.Fatalf("projected %d nodes / %d edges, want %d / %d",
 			pg.NumNodes(), pg.NumEdges(), g.NumNodes(), g.NumEdges())
@@ -139,12 +387,12 @@ func TestProjectSingleShardIdentity(t *testing.T) {
 // structure survives, edges to non-members are cut, non-members are empty.
 func TestProjectDropsNonMembers(t *testing.T) {
 	g := chainGraph(8)
-	plan, err := NewPlan(g, 4, 1) // shard 0 owns {0,1}, halo adds node 2
+	plan, err := NewPlan(g, 4, 1, Contiguous) // shard 0 owns {0,1}, halo adds node 2
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := &plan.Parts[0]
-	pg := Project(g, p)
+	pg := Project(g, p, plan.Radius)
 	if pg.NumNodes() != g.NumNodes() {
 		t.Fatalf("projection changed the ID space: %d nodes", pg.NumNodes())
 	}
@@ -173,6 +421,46 @@ func TestProjectDropsNonMembers(t *testing.T) {
 	}
 	if !to1 || to3 {
 		t.Fatalf("halo node 2 edges wrong: to1=%v to3=%v", to1, to3)
+	}
+}
+
+// TestProjectTrimsRimEdges checks the rim trim: an edge between two nodes
+// both at distance exactly radius from the owned set cannot appear in any
+// owned-centered answer tree, so Project drops it from the stored subgraph.
+func TestProjectTrimsRimEdges(t *testing.T) {
+	// 0—1, 1—2, 1—3, 2—3 (each as a directed pair): with owned {0} and
+	// radius 2, nodes 2 and 3 are rim nodes and the 2—3 edge is dropped.
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddNode(graph.Node{Relation: "R", Key: string(rune('a' + i)), Text: "node", Words: 1})
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {1, 3}, {2, 3}} {
+		b.AddEdge(e[0], e[1], 1)
+		b.AddEdge(e[1], e[0], 0.5)
+	}
+	g := b.Build()
+	p := Part{Index: 0, Owned: []graph.NodeID{0}, Member: []bool{true, true, true, true}, Members: 4}
+	pg := Project(g, &p, 2)
+	if got, want := pg.NumEdges(), g.NumEdges()-2; got != want {
+		t.Fatalf("projected %d edges, want %d (one undirected rim edge dropped)", got, want)
+	}
+	for _, e := range pg.OutEdges(2) {
+		if e.To == 3 {
+			t.Fatal("rim edge 2→3 survived the trim")
+		}
+	}
+	for _, e := range pg.OutEdges(3) {
+		if e.To == 2 {
+			t.Fatal("rim edge 3→2 survived the trim")
+		}
+	}
+	// Shortest-path edges survive: distances over the trimmed subgraph match
+	// distances over the whole graph.
+	got := OwnedDistances(pg, p.Owned, 2)
+	for v, want := range OwnedDistances(g, p.Owned, 2) {
+		if got[v] != want {
+			t.Fatalf("trimmed-subgraph dist[%d] = %d, want %d", v, got[v], want)
+		}
 	}
 }
 

@@ -31,7 +31,13 @@ type shardMeta struct {
 	// Radius is the plan's halo depth; searches through the set are exact
 	// for diameters up to 2·Radius.
 	Radius int
-	// Lo and Hi delimit the owned node range [Lo, Hi).
+	// Owned lists the shard's owned node IDs, ascending. The owned sets of
+	// a composed set are disjoint and cover the whole ID space. Under a
+	// locality plan the set is not an interval; Lo and Hi only bound it.
+	Owned []graph.NodeID
+	// Lo and Hi delimit the half-open span [Lo, Hi) bounding Owned (equal
+	// for an empty owned set). Legacy snapshots without an explicit owned
+	// list carry only the span, and ownership is the whole interval.
 	Lo, Hi graph.NodeID
 	// TotalNodes and TotalEdges are the whole (pre-partitioning) graph's
 	// sizes, reported by the coordinator as the set's corpus size.
@@ -45,9 +51,14 @@ type ShardInfo struct {
 	Index, Count int
 	// Radius is the halo depth of the shard's plan.
 	Radius int
-	// OwnedLo and OwnedHi delimit the shard's owned node-ID range
-	// [OwnedLo, OwnedHi); the owned ranges of a set partition the ID space.
+	// OwnedLo and OwnedHi delimit the half-open node-ID span [OwnedLo,
+	// OwnedHi) bounding the shard's owned set. Under the default locality
+	// strategy the owned set is not an interval — OwnedCount says how many
+	// IDs inside the span the shard actually owns; the owned sets of a set
+	// partition the ID space.
 	OwnedLo, OwnedHi int
+	// OwnedCount is the number of nodes the shard owns.
+	OwnedCount int
 	// TotalNodes and TotalEdges are the sizes of the whole graph the shard
 	// was partitioned from.
 	TotalNodes, TotalEdges int
@@ -63,19 +74,58 @@ func (e *Engine) ShardInfo() (ShardInfo, bool) {
 	m := e.shard
 	return ShardInfo{
 		Index: m.Index, Count: m.Count, Radius: m.Radius,
-		OwnedLo: int(m.Lo), OwnedHi: int(m.Hi),
+		OwnedLo: int(m.Lo), OwnedHi: int(m.Hi), OwnedCount: len(m.Owned),
 		TotalNodes: m.TotalNodes, TotalEdges: m.TotalEdges,
 	}, true
 }
 
+// ShardStrategy selects how ShardEngines assigns node ownership; see the
+// internal/shard package for the mechanics.
+type ShardStrategy int
+
+const (
+	// ShardLocality (the default) chunks a Cuthill–McKee breadth-first
+	// traversal of the graph, so each shard owns one tightly connected
+	// region and the radius-r halo it must replicate stays small.
+	ShardLocality ShardStrategy = iota
+	// ShardContiguous is the legacy raw-ID range split. It survives for
+	// halo before/after comparisons; rankings are identical under both.
+	ShardContiguous
+)
+
+// String names the strategy as the benchmark output spells it.
+func (s ShardStrategy) String() string {
+	switch s {
+	case ShardLocality:
+		return "locality"
+	case ShardContiguous:
+		return "contiguous"
+	default:
+		return "unknown"
+	}
+}
+
+// internalStrategy maps the public strategy onto the shard package's.
+func (s ShardStrategy) internal() (shard.Strategy, error) {
+	switch s {
+	case ShardLocality:
+		return shard.Locality, nil
+	case ShardContiguous:
+		return shard.Contiguous, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown shard strategy %d", ErrShardSet, int(s))
+	}
+}
+
 // ShardEngines partitions e into count shard engines with the given halo
-// radius (0 means DefaultShardRadius). Each returned engine is a complete,
-// independently usable Engine — it can be queried, saved and reopened like
-// any other — serving the member-induced subgraph of its slice of the plan
-// (owned range plus halo; see internal/shard). The shards reuse e's global
-// importance and dampening vectors, which is what makes their answer scores
-// bitwise equal to e's; compose them with NewSharded to answer queries with
-// e's exact rankings. e itself is not modified or consumed.
+// radius (0 means DefaultShardRadius) under the default locality strategy.
+// Each returned engine is a complete, independently usable Engine — it can
+// be queried, saved and reopened like any other — serving the
+// member-induced subgraph of its slice of the plan (owned set plus halo;
+// see internal/shard). The shards reuse e's global importance and dampening
+// vectors, which is what makes their answer scores bitwise equal to e's;
+// compose them with NewSharded to answer queries with e's exact rankings.
+// e itself is not modified or consumed.
 func ShardEngines(e *Engine, count, radius int) ([]*Engine, error) {
 	return ShardEnginesContext(context.Background(), e, count, radius)
 }
@@ -83,15 +133,29 @@ func ShardEngines(e *Engine, count, radius int) ([]*Engine, error) {
 // ShardEnginesContext is ShardEngines bounded by ctx: cancellation aborts
 // the per-shard index builds with an error wrapping ctx.Err().
 func ShardEnginesContext(ctx context.Context, e *Engine, count, radius int) ([]*Engine, error) {
+	return ShardEnginesWithStrategy(ctx, e, count, radius, ShardLocality)
+}
+
+// ShardEnginesWithStrategy is ShardEnginesContext with an explicit ownership
+// strategy. ShardContiguous reproduces the pre-locality range split — the
+// benchmark uses it to measure the halo-duplication before/after — at
+// rankings identical to ShardLocality's; everything else should let
+// ShardEnginesContext pick the default.
+func ShardEnginesWithStrategy(ctx context.Context, e *Engine, count, radius int, strategy ShardStrategy) ([]*Engine, error) {
 	if e.shard != nil {
 		return nil, fmt.Errorf("%w: engine already serves shard %d of %d; partition the original engine instead", ErrShardSet, e.shard.Index, e.shard.Count)
 	}
 	if radius == 0 {
 		radius = DefaultShardRadius
 	}
+	strat, err := strategy.internal()
+	if err != nil {
+		return nil, err
+	}
 	cfg := shard.Config{
 		Count:      count,
 		Radius:     radius,
+		Strategy:   strat,
 		Importance: e.imp,
 		Damp:       e.model.DampVector(),
 		Params:     e.model.Params(),
@@ -118,6 +182,7 @@ func ShardEnginesContext(ctx context.Context, e *Engine, count, radius int) ([]*
 				byKey[me.Table+"\x00"+me.Key] = me.Node
 			}
 		}
+		lo, hi := p.Span()
 		se := &Engine{
 			g:          sh.G,
 			ix:         sh.Ix,
@@ -133,9 +198,10 @@ func ShardEnginesContext(ctx context.Context, e *Engine, count, radius int) ([]*
 			},
 			shard: &shardMeta{
 				Index: i, Count: count, Radius: radius,
-				Lo: p.Lo, Hi: p.Hi,
+				Owned: p.Owned, Lo: lo, Hi: hi,
 				TotalNodes: e.g.NumNodes(), TotalEdges: e.g.NumEdges(),
 			},
+			ownedDist: sh.OwnedDist,
 		}
 		se.buildStats.Source = SourceBuild
 		se.buildStats.Workers = e.workers
@@ -181,7 +247,11 @@ func NewSharded(engines []*Engine) (*ShardedEngine, error) {
 	if first.Count != len(engines) {
 		return nil, fmt.Errorf("%w: got %d engines for a set of %d shards", ErrShardSet, len(engines), first.Count)
 	}
-	prevHi := graph.NodeID(0)
+	// Ownership must partition the ID space: every node owned by exactly
+	// one shard. The owner bitmap catches overlaps pairwise and the final
+	// count catches gaps, whatever strategy cut the plan.
+	owner := make([]bool, first.TotalNodes)
+	covered := 0
 	for i, e := range engines {
 		m := e.shard
 		if m == nil {
@@ -198,16 +268,24 @@ func NewSharded(engines []*Engine) (*ShardedEngine, error) {
 		if e.g.NumNodes() != m.TotalNodes {
 			return nil, fmt.Errorf("%w: engine %d holds %d nodes, want the full ID space of %d", ErrShardSet, i, e.g.NumNodes(), m.TotalNodes)
 		}
-		if m.Lo != prevHi {
-			return nil, fmt.Errorf("%w: engine %d owns [%d, %d), want a range starting at %d", ErrShardSet, i, m.Lo, m.Hi, prevHi)
+		prev := graph.NodeID(-1)
+		for _, v := range m.Owned {
+			if v <= prev {
+				return nil, fmt.Errorf("%w: engine %d owned set not strictly ascending at node %d", ErrShardSet, i, v)
+			}
+			prev = v
+			if int(v) >= first.TotalNodes {
+				return nil, fmt.Errorf("%w: engine %d owns node %d outside the %d-node ID space", ErrShardSet, i, v, first.TotalNodes)
+			}
+			if owner[v] {
+				return nil, fmt.Errorf("%w: node %d owned by engine %d and an earlier engine", ErrShardSet, v, i)
+			}
+			owner[v] = true
+			covered++
 		}
-		if m.Hi < m.Lo {
-			return nil, fmt.Errorf("%w: engine %d owns inverted range [%d, %d)", ErrShardSet, i, m.Lo, m.Hi)
-		}
-		prevHi = m.Hi
 	}
-	if int(prevHi) != first.TotalNodes {
-		return nil, fmt.Errorf("%w: owned ranges end at %d, want %d", ErrShardSet, prevHi, first.TotalNodes)
+	if covered != first.TotalNodes {
+		return nil, fmt.Errorf("%w: owned sets cover %d of %d nodes", ErrShardSet, covered, first.TotalNodes)
 	}
 	return &ShardedEngine{
 		shards: engines,
@@ -244,7 +322,7 @@ func (s *ShardedEngine) NumNodes() int { return s.nodes }
 func (s *ShardedEngine) NumEdges() int { return s.edges }
 
 // TermSelectivity reports how many graph nodes' text contains term, summing
-// each shard's count over its owned ID range only. Halo replicas are indexed
+// each shard's count over its owned node set only. Halo replicas are indexed
 // by several shards but owned by exactly one, so the sum equals the
 // unpartitioned engine's TermSelectivity exactly — the serving layer's
 // cost-based admission prices a query identically whether it runs sharded or
@@ -252,7 +330,15 @@ func (s *ShardedEngine) NumEdges() int { return s.edges }
 func (s *ShardedEngine) TermSelectivity(term string) int {
 	total := 0
 	for _, e := range s.shards {
-		total += e.ix.DFRange(term, e.shard.Lo, e.shard.Hi)
+		m := e.shard
+		if len(m.Owned) == int(m.Hi-m.Lo) {
+			// The owned set is exactly its span (contiguous plans, and any
+			// locality chunk that happens to be an interval): two binary
+			// searches beat the postings merge.
+			total += e.ix.DFRange(term, m.Lo, m.Hi)
+		} else {
+			total += e.ix.DFIn(term, m.Owned)
+		}
 	}
 	return total
 }

@@ -1,12 +1,16 @@
 package cirank
 
 import (
+	"bytes"
+	"context"
+	"encoding/binary"
 	"errors"
 	"math"
 	"path/filepath"
 	"testing"
 
 	"cirank/internal/datagen"
+	"cirank/internal/graph"
 )
 
 // shardFixture builds a generated DBLP engine plus a query workload through
@@ -169,6 +173,182 @@ func TestShardSnapshotRoundTrip(t *testing.T) {
 	// Missing member: shard 1's file gone.
 	if err := SaveShardSet(shards, filepath.Join(t.TempDir(), "gone")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardStrategiesAndPrune sweeps the strategy × frontier-prune grid:
+// every combination must reproduce the single-engine ranking byte for byte.
+// The difftest harness runs the same grid on larger workloads; this is the
+// fast in-tree anchor.
+func TestShardStrategiesAndPrune(t *testing.T) {
+	eng, queries := shardFixture(t)
+	if len(queries) > 6 {
+		queries = queries[:6]
+	}
+	for _, strategy := range []ShardStrategy{ShardLocality, ShardContiguous} {
+		for _, count := range []int{2, 4} {
+			shards, err := ShardEnginesWithStrategy(context.Background(), eng, count, 0, strategy)
+			if err != nil {
+				t.Fatalf("%v count %d: %v", strategy, count, err)
+			}
+			se, err := NewSharded(shards)
+			if err != nil {
+				t.Fatalf("%v count %d: %v", strategy, count, err)
+			}
+			for qi, terms := range queries {
+				want, err := eng.SearchTerms(terms, 5, SearchOptions{})
+				if err != nil {
+					t.Fatalf("query %d: %v", qi, err)
+				}
+				for _, noPrune := range []bool{false, true} {
+					got, err := se.SearchTerms(terms, 5, SearchOptions{DisableFrontierPrune: noPrune})
+					if err != nil {
+						t.Fatalf("%v count %d query %d noPrune=%v: %v", strategy, count, qi, noPrune, err)
+					}
+					sameResults(t, strategy.String(), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardPlanSnapshotRoundTrip pins the locality plan's trip through the
+// v2 format: the non-contiguous owned set survives save/load, the frontier
+// distances are rebuilt at load, and a re-save is byte-stable.
+func TestShardPlanSnapshotRoundTrip(t *testing.T) {
+	eng, queries := shardFixture(t)
+	shards, err := ShardEngines(eng, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := make([]*Engine, len(shards))
+	for i, sh := range shards {
+		snap := saveV2(t, sh)
+		ld, err := LoadEngine(bytes.NewReader(snap))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		wantInfo, _ := sh.ShardInfo()
+		gotInfo, ok := ld.ShardInfo()
+		if !ok || gotInfo != wantInfo {
+			t.Fatalf("shard %d info %+v, want %+v", i, gotInfo, wantInfo)
+		}
+		// The locality plan at count 4 is not an interval split, so the
+		// explicit owned list must carry more than the span says.
+		if gotInfo.OwnedCount == gotInfo.OwnedHi-gotInfo.OwnedLo {
+			t.Logf("shard %d owned set is an interval (possible but unexpected at count 4)", i)
+		}
+		if len(ld.shard.Owned) != len(sh.shard.Owned) {
+			t.Fatalf("shard %d owned length %d, want %d", i, len(ld.shard.Owned), len(sh.shard.Owned))
+		}
+		for j, v := range sh.shard.Owned {
+			if ld.shard.Owned[j] != v {
+				t.Fatalf("shard %d Owned[%d] = %d, want %d", i, j, ld.shard.Owned[j], v)
+			}
+		}
+		// ownedDist is derived, not serialized: the loader recomputes it and
+		// must land on exactly the build-time values.
+		if len(ld.ownedDist) != len(sh.ownedDist) {
+			t.Fatalf("shard %d ownedDist length %d, want %d", i, len(ld.ownedDist), len(sh.ownedDist))
+		}
+		for v := range sh.ownedDist {
+			if ld.ownedDist[v] != sh.ownedDist[v] {
+				t.Fatalf("shard %d ownedDist[%d] = %d, want %d", i, v, ld.ownedDist[v], sh.ownedDist[v])
+			}
+		}
+		if again := saveV2(t, ld); !bytes.Equal(snap, again) {
+			t.Fatalf("shard %d re-save differs: %d vs %d bytes", i, len(snap), len(again))
+		}
+		loaded[i] = ld
+	}
+	se, err := NewSharded(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, terms := range queries[:4] {
+		want, err := eng.SearchTerms(terms, 5, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := se.SearchTerms(terms, 5, SearchOptions{})
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		sameResults(t, "reloaded locality set", got, want)
+	}
+}
+
+// shardSectionBytes assembles a raw 56-byte shard section for decoder tests.
+func shardSectionBytes(index, count, radius, lo, hi, totalNodes, totalEdges uint64) []byte {
+	b := make([]byte, 0, shardSectionSize)
+	for _, v := range []uint64{index, count, radius, lo, hi, totalNodes, totalEdges} {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+// TestDecodeShardSectionLegacyOwned drives the decoder directly: a snapshot
+// written before locality plans has no shard.owned section, and ownership
+// must be synthesized as the whole [lo, hi) interval.
+func TestDecodeShardSectionLegacyOwned(t *testing.T) {
+	secs := map[string][]byte{
+		secShard: shardSectionBytes(1, 2, 3, 10, 14, 20, 40),
+	}
+	m, err := decodeShardSection(secs, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Owned) != 4 {
+		t.Fatalf("synthesized %d owned nodes, want 4", len(m.Owned))
+	}
+	for j, v := range m.Owned {
+		if int(v) != 10+j {
+			t.Fatalf("Owned[%d] = %d, want %d", j, v, 10+j)
+		}
+	}
+	if m.Lo != 10 || m.Hi != 14 {
+		t.Fatalf("span [%d, %d), want [10, 14)", m.Lo, m.Hi)
+	}
+}
+
+// TestDecodeShardSectionOwnedValidation covers the explicit-owned branch:
+// well-formed sets decode, malformed ones fail as ErrBadSnapshot.
+func TestDecodeShardSectionOwnedValidation(t *testing.T) {
+	section := func(lo, hi uint64, owned []uint32) map[string][]byte {
+		ob := make([]byte, 0, 4*len(owned))
+		for _, v := range owned {
+			ob = binary.LittleEndian.AppendUint32(ob, v)
+		}
+		return map[string][]byte{
+			secShard:    shardSectionBytes(0, 2, 3, lo, hi, 20, 40),
+			secShardOwn: ob,
+		}
+	}
+	m, err := decodeShardSection(section(2, 8, []uint32{2, 5, 7}), 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []graph.NodeID{2, 5, 7}; len(m.Owned) != len(want) ||
+		m.Owned[0] != want[0] || m.Owned[1] != want[1] || m.Owned[2] != want[2] {
+		t.Fatalf("Owned = %v, want %v", m.Owned, want)
+	}
+	// Empty owned set with an empty span is legal (more shards than nodes).
+	if m, err = decodeShardSection(section(0, 0, nil), 20, 30); err != nil || len(m.Owned) != 0 {
+		t.Fatalf("empty owned set: %v, %v", m, err)
+	}
+	bad := map[string]map[string][]byte{
+		"unsorted owned":        section(2, 8, []uint32{2, 7, 5}),
+		"duplicate owned":       section(2, 8, []uint32{2, 5, 5, 7}),
+		"owned out of range":    section(2, 26, []uint32{2, 25}),
+		"span head mismatch":    section(1, 8, []uint32{2, 5, 7}),
+		"span tail mismatch":    section(2, 9, []uint32{2, 5, 7}),
+		"empty set with span":   section(2, 8, nil),
+		"ragged section length": {secShard: shardSectionBytes(0, 2, 3, 2, 8, 20, 40), secShardOwn: []byte{1, 2, 3}},
+	}
+	for name, secs := range bad {
+		if _, err := decodeShardSection(secs, 20, 30); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", name, err)
+		}
 	}
 }
 

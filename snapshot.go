@@ -16,6 +16,7 @@ import (
 	"cirank/internal/relational"
 	"cirank/internal/rwmp"
 	"cirank/internal/search"
+	"cirank/internal/shard"
 	"cirank/internal/textindex"
 )
 
@@ -54,12 +55,17 @@ import (
 //	star.ret    numStar² × f64
 //	shard       index u64 | count u64 | radius u64 |
 //	            ownedLo u64 | ownedHi u64 | totalNodes u64 | totalEdges u64
+//	shard.owned ownedCount × u32 (node IDs, strictly ascending)
 //
 // The five star.* sections are present together exactly when the meta flags
-// word has bit 0 set; the shard section (a shard engine's slice of its
+// word has bit 0 set; the shard sections (a shard engine's slice of its
 // partition plan, see ShardEngines) exactly when bit 1 is set; strings are
-// u32-length-prefixed UTF-8. The encoding is deterministic: the same engine
-// always serializes to the same bytes.
+// u32-length-prefixed UTF-8. shard.owned is the explicit owned node set of
+// a locality-partitioned shard; ownedLo/ownedHi in the shard section are
+// its span. Snapshots written before ownership travelled explicitly carry
+// only the shard section, and the owned set decodes as the whole interval
+// [ownedLo, ownedHi). The encoding is deterministic: the same engine always
+// serializes to the same bytes.
 //
 // LoadEngine also still reads the legacy v1 stream format (which rebuilt the
 // text index and tuple lookup on load, losing merged-away role keys); the
@@ -82,7 +88,7 @@ const (
 	// element type (f64 and the 16-byte edge record).
 	snapAlign = 16
 	// maxSections bounds the section count a decoder will size a table for;
-	// the format defines 15 names, so anything near this is corruption.
+	// the format defines 16 names, so anything near this is corruption.
 	maxSections = 64
 	// maxSnapshotString bounds one length-prefixed string, matching the
 	// graph serialization's limit.
@@ -115,6 +121,7 @@ const (
 	secStarDist  = "star.dist"
 	secStarRet   = "star.ret"
 	secShard     = "shard"
+	secShardOwn  = "shard.owned"
 )
 
 // requiredSections must be present in every v2 snapshot; starSections are
@@ -134,6 +141,7 @@ var (
 			m[s] = true
 		}
 		m[secShard] = true
+		m[secShardOwn] = true
 		return m
 	}()
 )
@@ -244,7 +252,11 @@ func (e *Engine) encodeSections() ([]snapSection, error) {
 		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.Hi))
 		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.TotalNodes))
 		sh = binary.LittleEndian.AppendUint64(sh, uint64(m.TotalEdges))
-		secs = append(secs, snapSection{secShard, sh})
+		owned := make([]byte, 0, 4*len(m.Owned))
+		for _, v := range m.Owned {
+			owned = binary.LittleEndian.AppendUint32(owned, uint32(v))
+		}
+		secs = append(secs, snapSection{secShard, sh}, snapSection{secShardOwn, owned})
 	}
 	return secs, nil
 }
@@ -589,8 +601,12 @@ func decodeV2(data []byte, alias bool) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-	} else if _, ok := secs[secShard]; ok {
-		return nil, badSnap("section %q present without the shard flag", secShard)
+	} else {
+		for _, name := range []string{secShard, secShardOwn} {
+			if _, ok := secs[name]; ok {
+				return nil, badSnap("section %q present without the shard flag", name)
+			}
+		}
 	}
 
 	entries, byKey, err := decodeEntMap(secs[secEntMap], n)
@@ -599,13 +615,24 @@ func decodeV2(data []byte, alias bool) (*Engine, error) {
 	}
 	e := assembleLoaded(g, ix, model, impV, starIdx, entries, byKey)
 	e.shard = shardM
+	if shardM != nil {
+		// ownedDist is derived data: one undirected BFS over the shard
+		// subgraph reproduces the build-time table exactly, so it is never
+		// persisted — cheaper than widening the format and impossible to
+		// let drift out of sync with the owned set.
+		e.ownedDist = shard.OwnedDistances(g, shardM.Owned, shardM.Radius)
+	}
 	return e, nil
 }
 
-// decodeShardSection validates and decodes the shard section: the engine's
-// slice of its partition plan. n and nEdges are the snapshot graph's sizes —
-// a shard subgraph spans the full global ID space, so totalNodes must equal
-// n, while totalEdges (the whole graph's) can only exceed the shard's.
+// decodeShardSection validates and decodes the shard section — the engine's
+// slice of its partition plan — together with the optional shard.owned
+// section holding the explicit owned node set. n and nEdges are the snapshot
+// graph's sizes: a shard subgraph spans the full global ID space, so
+// totalNodes must equal n, while totalEdges (the whole graph's) can only
+// exceed the shard's. Without shard.owned (snapshots from before locality
+// plans) ownership is the whole interval [lo, hi); with it, lo/hi must be
+// exactly the owned set's span so a re-save is byte-stable.
 func decodeShardSection(secs map[string][]byte, n, nEdges int) (*shardMeta, error) {
 	b, ok := secs[secShard]
 	if !ok {
@@ -639,9 +666,42 @@ func decodeShardSection(secs map[string][]byte, n, nEdges int) (*shardMeta, erro
 	if lo > hi || hi > totalNodes {
 		return nil, badSnap("shard owned range [%d, %d) invalid for %d nodes", lo, hi, totalNodes)
 	}
+	var owned []graph.NodeID
+	if ob, ok := secs[secShardOwn]; ok {
+		if len(ob)%4 != 0 {
+			return nil, badSnap("section %q is %d bytes, want a multiple of 4", secShardOwn, len(ob))
+		}
+		owned = make([]graph.NodeID, len(ob)/4)
+		prev := int64(-1)
+		for i := range owned {
+			id := int64(binary.LittleEndian.Uint32(ob[4*i:]))
+			if id <= prev {
+				return nil, badSnap("section %q not strictly ascending at entry %d", secShardOwn, i)
+			}
+			if uint64(id) >= totalNodes {
+				return nil, badSnap("section %q owns node %d of %d", secShardOwn, id, totalNodes)
+			}
+			prev = id
+			owned[i] = graph.NodeID(id)
+		}
+		switch {
+		case len(owned) == 0:
+			if lo != hi {
+				return nil, badSnap("empty owned set with nonempty span [%d, %d)", lo, hi)
+			}
+		case uint64(owned[0]) != lo || uint64(owned[len(owned)-1])+1 != hi:
+			return nil, badSnap("owned set spans [%d, %d), shard section claims [%d, %d)",
+				owned[0], owned[len(owned)-1]+1, lo, hi)
+		}
+	} else {
+		owned = make([]graph.NodeID, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			owned = append(owned, graph.NodeID(id))
+		}
+	}
 	return &shardMeta{
 		Index: int(index), Count: int(count), Radius: int(radius),
-		Lo: graph.NodeID(lo), Hi: graph.NodeID(hi),
+		Owned: owned, Lo: graph.NodeID(lo), Hi: graph.NodeID(hi),
 		TotalNodes: int(totalNodes), TotalEdges: int(totalEdges),
 	}, nil
 }
