@@ -8,7 +8,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FUZZMINIMIZE ?= 5x
 
-.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-search bench-serve bench-shard bench-smoke check serve loadgen
+.PHONY: all build test race vet lint fuzz diff cover bench bench-json bench-search bench-serve bench-shard bench-smoke check serve loadgen loadgen-tenants
 
 all: check
 
@@ -61,11 +61,19 @@ serve:
 	$(GO) run ./cmd/cirank-server -dataset dblp -addr :8080
 
 # loadgen replays the skewed query stream against a live server in the
-# three tracked arms (caches off / warmed / hot reloads mid-load) and
-# prints the serve report without touching the tracked JSON. Use
+# four tracked arms (caches off / warmed / hot reloads mid-load / the
+# stream spread over three named tenants with reloads hitting only t0)
+# and prints the serve report without touching the tracked JSON. Use
 # `make bench-serve` to refresh BENCH_serve.json.
 loadgen:
 	$(GO) run ./cmd/cirank-loadgen -out -
+
+# loadgen-tenants runs just the mixed-tenant isolation arm: three named
+# tenants over one snapshot, hot reloads targeting t0 only. stale/failed
+# and stale_other/failed_other must all be zero — a nonzero count means a
+# reload of one tenant leaked into another.
+loadgen-tenants:
+	$(GO) run ./cmd/cirank-loadgen -arms tenants -out -
 
 # bench runs the paper-figure benchmarks plus the parallel/caching grid.
 bench:
@@ -93,10 +101,12 @@ bench-json:
 bench-shard:
 	$(GO) run ./cmd/cirank-bench -mode shard -out BENCH_shard.json
 
-# bench-serve refreshes only the serving-stack trajectory: the three
+# bench-serve refreshes only the serving-stack trajectory: the four
 # tracked arms (result cache and coalescing off, full stack warmed, hot
-# reloads landing mid-load) through a live HTTP server. The serve-reload
-# row's stale and failed columns must be zero in any committed report.
+# reloads landing mid-load, the mixed-tenant split) through a live HTTP
+# server. The serve-reload row's stale and failed columns must be zero in
+# any committed report, and so must the serve-tenants row's stale_other
+# and failed_other (reload isolation across tenants).
 bench-serve:
 	$(GO) run ./cmd/cirank-bench -mode serve -out BENCH_serve.json
 
@@ -122,6 +132,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkSearch$$' -benchtime 1x .
 	$(GO) test -race -run 'TestBuild|TestScratch|TestEdgeOrder|TestWeightBinarySearch|TestSharded' ./internal/pathindex ./internal/textindex ./internal/graph .
 	$(GO) run ./cmd/cirank-loadgen -duration 1s -clients 4 -out /dev/null
+	$(GO) run ./cmd/cirank-loadgen -arms tenants -duration 1s -clients 4 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -compare BENCH_build.json -scales 0.25 -workers 1,2 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode load -compare BENCH_load.json -scales 0.25 -out /dev/null
 	-$(GO) run ./cmd/cirank-bench -mode search -compare BENCH_search.json -scales 0.12 -benchtime 1x -out /dev/null

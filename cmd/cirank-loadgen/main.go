@@ -12,7 +12,7 @@
 //	cirank-loadgen -clients 16 -duration 5s -out -
 //	cirank-loadgen -arms custom -qps 500 -warm -reload-every 1s -out -
 //
-// The default run measures the three tracked arms against one generated
+// The default run measures the four tracked arms against one generated
 // fixture (dataset → public build → snapshot → fresh server per arm):
 //
 //	serve-nocache  result cache and coalescing off; every request evaluates.
@@ -23,13 +23,19 @@
 //	               zero (the serving stack's correctness-under-churn
 //	               guarantee, also enforced under -race by the servebench
 //	               and server package tests).
+//	serve-tenants  the snapshot served as three named tenants with the
+//	               stream spread across them, hot reloads hitting only
+//	               tenant t0 — stale/failed must stay zero on every tenant
+//	               (stale_other/failed_other isolate the non-reloaded ones).
 //
-// -arms custom instead runs a single arm shaped by the remaining flags:
-// -cache-off/-coalesce-off toggle the serving caches, -warm pre-runs the
-// stream, -qps switches from closed-loop (each of -clients keeps one
-// request in flight) to open-loop (requests start at the target rate no
-// matter how slowly they answer, so queueing shows up as latency), and
-// -reload-every hot-reloads the snapshot at that period.
+// -arms tenants runs just the mixed-tenant arm, sized by -tenants and
+// -reload-tenant. -arms custom instead runs a single arm shaped by the
+// remaining flags: -cache-off/-coalesce-off toggle the serving caches,
+// -warm pre-runs the stream, -qps switches from closed-loop (each of
+// -clients keeps one request in flight) to open-loop (requests start at the
+// target rate no matter how slowly they answer, so queueing shows up as
+// latency), -reload-every hot-reloads the snapshot at that period, and
+// -tenants/-reload-tenant shape the multi-tenant split.
 //
 // The report format is documented in the internal/servebench package
 // comment; cirank-bench -mode serve emits the same document and its
@@ -56,7 +62,7 @@ func main() {
 		k         = flag.Int("k", 10, "answer count per query")
 		clients   = flag.Int("clients", 8, "closed-loop client count (also sizes the transport in open loop)")
 		duration  = flag.Duration("duration", 2*time.Second, "measured window per arm")
-		arms      = flag.String("arms", "tracked", "tracked (the three BENCH_serve.json arms) or custom (one arm from the flags below)")
+		arms      = flag.String("arms", "tracked", "tracked (the four BENCH_serve.json arms), tenants (the mixed-tenant arm alone) or custom (one arm from the flags below)")
 
 		stage       = flag.String("stage", "serve-custom", "custom arm: stage name in the report")
 		cacheOff    = flag.Bool("cache-off", false, "custom arm: disable the result cache")
@@ -65,6 +71,8 @@ func main() {
 		qps         = flag.Float64("qps", 0, "custom arm: open-loop target arrival rate (0 = closed loop)")
 		reloadEvery = flag.Duration("reload-every", 0, "custom arm: hot-reload the snapshot at this period (0 = never)")
 		timeout     = flag.Duration("timeout", 0, "custom arm: per-query timeout parameter sent to the server (0 = server default)")
+		tenants     = flag.Int("tenants", 3, "tenants/custom arm: named tenant count the stream is spread across (1 = single-tenant)")
+		reloadT     = flag.String("reload-tenant", "t0", "tenants/custom arm: the one tenant hot reloads target")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -83,20 +91,32 @@ func main() {
 	switch *arms {
 	case "tracked":
 		armList = servebench.TrackedArms(*clients, *duration)
+	case "tenants":
+		armList = []servebench.Arm{{
+			Stage:        "serve-tenants",
+			Warm:         true,
+			Clients:      *clients,
+			Duration:     *duration,
+			ReloadEvery:  *duration / 4,
+			Tenants:      *tenants,
+			ReloadTenant: *reloadT,
+		}}
 	case "custom":
 		armList = []servebench.Arm{{
-			Stage:       *stage,
-			CacheOff:    *cacheOff,
-			CoalesceOff: *coalesceOff,
-			Warm:        *warm,
-			Clients:     *clients,
-			TargetQPS:   *qps,
-			Duration:    *duration,
-			ReloadEvery: *reloadEvery,
-			Timeout:     *timeout,
+			Stage:        *stage,
+			CacheOff:     *cacheOff,
+			CoalesceOff:  *coalesceOff,
+			Warm:         *warm,
+			Clients:      *clients,
+			TargetQPS:    *qps,
+			Duration:     *duration,
+			ReloadEvery:  *reloadEvery,
+			Timeout:      *timeout,
+			Tenants:      *tenants,
+			ReloadTenant: *reloadT,
 		}}
 	default:
-		fail(fmt.Errorf("bad -arms %q: want tracked or custom", *arms))
+		fail(fmt.Errorf("bad -arms %q: want tracked, tenants or custom", *arms))
 	}
 
 	dir, err := os.MkdirTemp("", "cirank-loadgen-")

@@ -23,10 +23,28 @@
 //	cirank-server -dataset dblp -scale 4 -save-snapshot eng.snap
 //	cirank-server -snapshot eng.snap -addr :8080
 //	curl -X POST localhost:8080/v1/admin/reload
+//
+// Multi-tenant serving — one process, several named corpora, each behind
+// its own result cache, coalescing group and weighted-fair admission share:
+//
+//	cirank-server -tenants tenants.json -addr :8080
+//	curl 'localhost:8080/v1/search?q=ullman&tenant=books'
+//	curl -X POST 'localhost:8080/v1/admin/reload?tenant=books'
+//
+// The -tenants file maps names to snapshots (or shard-set base paths with
+// "sharded": true) plus optional per-tenant overrides:
+//
+//	{"tenants": [
+//	  {"name": "books", "snapshot": "books.snap", "admission_weight": 2},
+//	  {"name": "papers", "snapshot": "papers.set", "sharded": true,
+//	   "result_cache": 4096}
+//	]}
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,6 +73,7 @@ func main() {
 		maxExp   = flag.Int("maxexpansions", 200000, "branch-and-bound expansion cap per query (-1 = unlimited)")
 		workers  = flag.Int("workers", 0, "engine worker goroutines per query (0 = GOMAXPROCS)")
 		snapshot = flag.String("snapshot", "", "serve from this snapshot file (mmap-opened; enables POST /admin/reload) instead of generating a dataset")
+		tenants  = flag.String("tenants", "", "serve several named tenants from this JSON config (see the package docs; mutually exclusive with -snapshot and -shards)")
 		saveSnap = flag.String("save-snapshot", "", "build the dataset engine, write a snapshot to this file, and exit")
 		shards   = flag.Int("shards", 1, "partition the engine into this many shards behind the scatter-gather coordinator (1 = single engine)")
 		radius   = flag.Int("shard-radius", cirank.DefaultShardRadius, "halo radius for -shards partitions; answers stay exact up to diameter 2*radius")
@@ -108,7 +127,17 @@ func main() {
 		AdmissionBudget: *admission,
 		MaxBatch:        *maxBatch,
 	}
-	if *shards > 1 {
+	if *tenants != "" {
+		if *snapshot != "" || *shards > 1 {
+			fail(fmt.Errorf("-tenants is mutually exclusive with -snapshot and -shards"))
+		}
+		cfg.SnapshotPath = ""
+		list, err := loadTenants(*tenants)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Tenants = list
+	} else if *shards > 1 {
 		// Sharded serving: open the set written by -save-snapshot -shards N,
 		// or partition a freshly built engine in place. The snapshot path
 		// stays the set's base path, so /v1/admin/reload (whole set or
@@ -211,6 +240,78 @@ func buildEngine(dataset string, scale float64, seed int64, workers int) (*ciran
 	cfg := cirank.DefaultConfig()
 	cfg.Workers = workers
 	return b.Build(cfg)
+}
+
+// tenantEntry is one tenant of the -tenants JSON config.
+type tenantEntry struct {
+	// Name is the tenant's wire name (the tenant request parameter).
+	Name string `json:"name"`
+	// Snapshot is the tenant's snapshot file, or its shard-set base path
+	// when Sharded is true. Hot reload re-opens the same path.
+	Snapshot string `json:"snapshot"`
+	// Sharded opens Snapshot as a shard-set base path (written by
+	// -save-snapshot -shards N) instead of a single snapshot file.
+	Sharded bool `json:"sharded"`
+	// ResultCache overrides -result-cache for this tenant (0 inherits,
+	// negative disables).
+	ResultCache int `json:"result_cache"`
+	// AdmissionWeight is the tenant's weighted-fair share of the global
+	// admission budget (0 means 1).
+	AdmissionWeight int `json:"admission_weight"`
+}
+
+// loadTenants reads the -tenants config and opens every tenant's corpus;
+// validation beyond opening (name shape, duplicates) is server.New's.
+func loadTenants(path string) ([]server.TenantConfig, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file struct {
+		Tenants []tenantEntry `json:"tenants"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(file.Tenants) == 0 {
+		return nil, fmt.Errorf("%s: no tenants configured", path)
+	}
+	var out []server.TenantConfig
+	for _, e := range file.Tenants {
+		if e.Snapshot == "" {
+			return nil, fmt.Errorf("%s: tenant %q: snapshot is required", path, e.Name)
+		}
+		tc := server.TenantConfig{
+			Name:            e.Name,
+			SnapshotPath:    e.Snapshot,
+			ResultCacheSize: e.ResultCache,
+			AdmissionWeight: e.AdmissionWeight,
+		}
+		if e.Sharded {
+			se, err := cirank.OpenShardSet(e.Snapshot)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: %w", e.Name, err)
+			}
+			tc.Shards = se.Engines()
+		} else {
+			eng, err := cirank.Open(e.Snapshot)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: %w", e.Name, err)
+			}
+			tc.Engine = eng
+		}
+		nodes, edges := 0, 0
+		if tc.Engine != nil {
+			nodes, edges = tc.Engine.NumNodes(), tc.Engine.NumEdges()
+		} else if info, ok := tc.Shards[0].ShardInfo(); ok {
+			nodes, edges = info.TotalNodes, info.TotalEdges
+		}
+		fmt.Fprintf(os.Stderr, "cirank-server: tenant %s ready: %d nodes, %d edges\n", e.Name, nodes, edges)
+		out = append(out, tc)
+	}
+	return out, nil
 }
 
 // saveSnapshot writes the engine's v2 snapshot to path.

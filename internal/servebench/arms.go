@@ -42,6 +42,16 @@ type Arm struct {
 	// Timeout is the per-query timeout parameter sent to the server
 	// (zero = the server default).
 	Timeout time.Duration
+	// Tenants, when above 1, serves the snapshot as that many named tenants
+	// ("t0" … "tN-1") in one server — each with its own engine, result
+	// cache, flight group and fair admission share — and round-robins the
+	// stream across them by request index.
+	Tenants int
+	// ReloadTenant names the tenant the reload goroutine hot-swaps on a
+	// multi-tenant arm (default "t0"). Only that tenant's generation floor
+	// ever moves, so a stale or failed answer from any other tenant is a
+	// reload-isolation violation, counted in Result.StaleOther/FailedOther.
+	ReloadTenant string
 }
 
 // Result is one arm's measurement.
@@ -61,6 +71,11 @@ type Result struct {
 	// CacheHits and Coalesced count OK responses whose envelope reported
 	// stats.source "cache" / "coalesced"; Evaluated the "engine" ones.
 	CacheHits, Coalesced, Evaluated int64
+	// StaleOther and FailedOther count the stale / failed answers observed
+	// on tenants other than the reloaded one during a multi-tenant arm —
+	// the reload-isolation invariant keeps both at zero. Zero on
+	// single-tenant arms by construction.
+	StaleOther, FailedOther int64
 	// MeanNs, P50Ns, P99Ns are per-request wall-clock latencies through
 	// HTTP.
 	MeanNs, P50Ns, P99Ns int64
@@ -92,12 +107,15 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 		return res, fmt.Errorf("servebench: arm %s: Duration must be positive", arm.Stage)
 	}
 
-	eng, err := cirank.Open(f.SnapshotPath)
-	if err != nil {
-		return res, err
+	nT := arm.Tenants
+	if nT < 1 {
+		nT = 1
+	}
+	reloadTenant := arm.ReloadTenant
+	if reloadTenant == "" && nT > 1 {
+		reloadTenant = "t0"
 	}
 	cfg := server.Config{
-		Engine: eng,
 		// Admission stays out of the way unless an arm studies it: the
 		// tracked arms measure the cache/coalesce win and the reload
 		// guarantee, not shedding behaviour.
@@ -109,12 +127,43 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 	if arm.CoalesceOff {
 		cfg.CoalesceEnabled = server.Bool(false)
 	}
-	if arm.ReloadEvery > 0 {
-		cfg.SnapshotPath = f.SnapshotPath
+	var engines []*cirank.Engine
+	closeEngines := func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}
+	if nT == 1 {
+		eng, err := cirank.Open(f.SnapshotPath)
+		if err != nil {
+			return res, err
+		}
+		engines = append(engines, eng)
+		cfg.Engine = eng
+		if arm.ReloadEvery > 0 {
+			cfg.SnapshotPath = f.SnapshotPath
+		}
+	} else {
+		// Every tenant serves its own zero-copy view of the same snapshot —
+		// identical corpora, independent serving stacks, so per-tenant
+		// rankings must match a dedicated single-tenant server byte for byte.
+		for i := 0; i < nT; i++ {
+			eng, err := cirank.Open(f.SnapshotPath)
+			if err != nil {
+				closeEngines()
+				return res, err
+			}
+			engines = append(engines, eng)
+			cfg.Tenants = append(cfg.Tenants, server.TenantConfig{
+				Name:         fmt.Sprintf("t%d", i),
+				Engine:       eng,
+				SnapshotPath: f.SnapshotPath,
+			})
+		}
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
-		eng.Close()
+		closeEngines()
 		return res, err
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -131,9 +180,18 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 	if arm.Timeout > 0 {
 		suffix = fmt.Sprintf("&timeout=%s", arm.Timeout)
 	}
+	// tenantOf spreads the stream across the tenants by request index; the
+	// suffix routes the request to its tenant's corpus.
+	tenantOf := func(i int) int { return i % nT }
+	tenantSuffix := make([]string, nT)
+	if nT > 1 {
+		for i := 0; i < nT; i++ {
+			tenantSuffix[i] = fmt.Sprintf("&tenant=t%d", i)
+		}
+	}
 	get := func(i int) (probeResponse, int, error) {
 		var probe probeResponse
-		resp, err := client.Get(ts.URL + f.Path(i) + suffix)
+		resp, err := client.Get(ts.URL + f.Path(i) + suffix + tenantSuffix[tenantOf(i)])
 		if err != nil {
 			return probe, 0, err
 		}
@@ -158,10 +216,21 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 		}
 	}
 
-	// genFloor is the highest generation whose reload has completed; a
-	// response below the floor read before its request started is stale.
-	var genFloor atomic.Uint64
-	genFloor.Store(1)
+	// floors[j] is the highest generation of tenant j whose reload has
+	// completed; a response below its tenant's floor read before the request
+	// started is stale. Only the reloaded tenant's floor ever moves.
+	floors := make([]atomic.Uint64, nT)
+	for i := range floors {
+		floors[i].Store(1)
+	}
+	reloadIdx := 0
+	reloadPath := "/v1/admin/reload"
+	if nT > 1 {
+		if _, err := fmt.Sscanf(reloadTenant, "t%d", &reloadIdx); err != nil || reloadIdx < 0 || reloadIdx >= nT {
+			return res, fmt.Errorf("servebench: arm %s: ReloadTenant %q is not one of t0…t%d", arm.Stage, reloadTenant, nT-1)
+		}
+		reloadPath += "?tenant=" + reloadTenant
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), arm.Duration)
 	defer cancel()
 
@@ -180,7 +249,7 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 					return
 				case <-tick.C:
 				}
-				resp, err := client.Post(ts.URL+"/v1/admin/reload", "application/json", nil)
+				resp, err := client.Post(ts.URL+reloadPath, "application/json", nil)
 				if err != nil {
 					reloadErr = err
 					return
@@ -198,7 +267,7 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 					reloadErr = err
 					return
 				}
-				genFloor.Store(rel.Generation)
+				floors[reloadIdx].Store(rel.Generation)
 				reloads.Add(1)
 			}
 		}()
@@ -208,22 +277,33 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 	type tally struct {
 		lat                             []time.Duration
 		ok, failed, rejected, stale     int64
+		staleOther, failedOther         int64
 		cacheHits, coalesced, evaluated int64
 	}
 	var next atomic.Int64
 	work := func(tl *tally, i int) {
-		floor := genFloor.Load()
+		j := tenantOf(i)
+		floor := floors[j].Load()
 		t0 := time.Now()
 		probe, status, err := get(i)
 		d := time.Since(t0)
+		fail := func() {
+			tl.failed++
+			if nT > 1 && j != reloadIdx {
+				tl.failedOther++
+			}
+		}
 		switch {
 		case err != nil:
-			tl.failed++
+			fail()
 		case status == http.StatusOK:
 			tl.ok++
 			tl.lat = append(tl.lat, d)
 			if probe.Generation < floor {
 				tl.stale++
+				if nT > 1 && j != reloadIdx {
+					tl.staleOther++
+				}
 			}
 			switch probe.Stats.Source {
 			case server.ServedCache:
@@ -236,7 +316,7 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 		case status == http.StatusTooManyRequests:
 			tl.rejected++
 		default:
-			tl.failed++
+			fail()
 		}
 	}
 
@@ -298,6 +378,8 @@ func (f *Fixture) Run(arm Arm) (Result, error) {
 		res.Failed += tl.failed
 		res.Rejected += tl.rejected
 		res.Stale += tl.stale
+		res.StaleOther += tl.staleOther
+		res.FailedOther += tl.failedOther
 		res.CacheHits += tl.cacheHits
 		res.Coalesced += tl.coalesced
 		res.Evaluated += tl.evaluated

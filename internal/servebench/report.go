@@ -57,6 +57,19 @@ type Cell struct {
 	Stale int64 `json:"stale"`
 	// Reloads counts hot reloads completed inside the window.
 	Reloads int64 `json:"reloads"`
+	// Tenants is the named-tenant count of a multi-tenant arm (absent on
+	// single-tenant cells).
+	Tenants int `json:"tenants,omitempty"`
+	// ReloadTenant names the one tenant a multi-tenant arm's reloads
+	// hot-swapped.
+	ReloadTenant string `json:"reload_tenant,omitempty"`
+	// StaleOther counts stale answers on tenants other than the reloaded
+	// one — the reload-isolation invariant of the serve-tenants arm keeps
+	// it at zero.
+	StaleOther int64 `json:"stale_other,omitempty"`
+	// FailedOther counts failed requests on tenants other than the
+	// reloaded one; like StaleOther it must stay zero.
+	FailedOther int64 `json:"failed_other,omitempty"`
 	// TargetQPS is set on open-loop cells: the configured arrival rate.
 	TargetQPS float64 `json:"target_qps,omitempty"`
 	// SpeedupVsNoCache is this cell's queries_per_sec over the
@@ -102,8 +115,11 @@ func NewReport(dataset string, dataSeed, querySeed int64) *Report {
 			"closed-loop client count. serve-nocache evaluates every request (result " +
 			"cache and coalescing off), serve-cached runs the full stack warmed, " +
 			"serve-reload hot-reloads the snapshot during load — its stale and failed " +
-			"columns must be zero. speedup_vs_nocache is sustained QPS over the " +
-			"serve-nocache arm at the same scale/workers/k.",
+			"columns must be zero. serve-tenants serves the snapshot as several named " +
+			"tenants and hot-reloads only reload_tenant — stale/failed must stay zero " +
+			"on every tenant (stale_other/failed_other count the non-reloaded ones). " +
+			"speedup_vs_nocache is sustained QPS over the serve-nocache arm at the " +
+			"same scale/workers/k.",
 	}
 }
 
@@ -122,13 +138,15 @@ func (r *Report) Write(path string) error {
 }
 
 // TrackedArms returns the standard arm set of the tracked trajectory:
-// baseline without the serving stack's caches, the full stack warmed, and
-// the full stack with reloads landing mid-load.
+// baseline without the serving stack's caches, the full stack warmed, the
+// full stack with reloads landing mid-load, and the mixed-tenant stream with
+// reloads hot-swapping exactly one tenant.
 func TrackedArms(clients int, duration time.Duration) []Arm {
 	return []Arm{
 		{Stage: "serve-nocache", CacheOff: true, CoalesceOff: true, Clients: clients, Duration: duration},
 		{Stage: "serve-cached", Warm: true, Clients: clients, Duration: duration},
 		{Stage: "serve-reload", Warm: true, Clients: clients, Duration: duration, ReloadEvery: duration / 4},
+		{Stage: "serve-tenants", Warm: true, Clients: clients, Duration: duration, ReloadEvery: duration / 4, Tenants: 3, ReloadTenant: "t0"},
 	}
 }
 
@@ -151,6 +169,12 @@ func (f *Fixture) Cell(arm Arm, k int, res Result) Cell {
 		Stale:     res.Stale,
 		Reloads:   res.Reloads,
 		TargetQPS: arm.TargetQPS,
+	}
+	if arm.Tenants > 1 {
+		c.Tenants = arm.Tenants
+		c.ReloadTenant = arm.ReloadTenant
+		c.StaleOther = res.StaleOther
+		c.FailedOther = res.FailedOther
 	}
 	if res.OK > 0 {
 		c.CacheHitRate = round4(float64(res.CacheHits) / float64(res.OK))

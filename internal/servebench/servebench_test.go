@@ -2,8 +2,13 @@ package servebench
 
 import (
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
+
+	"cirank"
+	"cirank/internal/server"
 )
 
 // testFixture builds one small shared fixture; building a dataset and
@@ -146,7 +151,7 @@ func TestReportShape(t *testing.T) {
 
 func TestTrackedArms(t *testing.T) {
 	arms := TrackedArms(8, 2*time.Second)
-	if len(arms) != 3 {
+	if len(arms) != 4 {
 		t.Fatalf("got %d arms", len(arms))
 	}
 	stages := map[string]Arm{}
@@ -164,5 +169,102 @@ func TestTrackedArms(t *testing.T) {
 	}
 	if a := stages["serve-reload"]; !a.Warm || a.ReloadEvery <= 0 {
 		t.Errorf("serve-reload misconfigured: %+v", a)
+	}
+	if a := stages["serve-tenants"]; !a.Warm || a.ReloadEvery <= 0 || a.Tenants < 2 || a.ReloadTenant != "t0" {
+		t.Errorf("serve-tenants misconfigured: %+v", a)
+	}
+}
+
+// TestTenantArmIsolation drives the mixed-tenant arm under churn and checks
+// the tentpole guarantee at the HTTP boundary: hot-swapping one tenant
+// surfaces zero stale-generation and zero failed answers on the others. CI
+// runs this under -race, making it the multi-tenant churn-safety proof.
+func TestTenantArmIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real load for ~1s")
+	}
+	f := testFixture(t)
+	res, err := f.Run(Arm{Stage: "serve-tenants", Warm: true, Clients: 6,
+		Duration: 600 * time.Millisecond, ReloadEvery: 150 * time.Millisecond,
+		Tenants: 3, ReloadTenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 {
+		t.Fatal("tenant arm completed zero requests")
+	}
+	if res.Reloads == 0 {
+		t.Fatal("tenant arm completed zero reloads; the targeted reload plumbing is broken")
+	}
+	if res.Failed != 0 || res.Stale != 0 {
+		t.Fatalf("tenant arm failed=%d stale=%d under churn", res.Failed, res.Stale)
+	}
+	if res.FailedOther != 0 || res.StaleOther != 0 {
+		t.Fatalf("reload isolation violated: %d failed, %d stale on non-reloaded tenants",
+			res.FailedOther, res.StaleOther)
+	}
+}
+
+// TestTenantRankingParity pins the sharing-is-invisible guarantee: for the
+// same query stream, every tenant of a multi-tenant server answers rankings
+// byte-identical to a dedicated single-tenant server over the same snapshot.
+func TestTenantRankingParity(t *testing.T) {
+	f := testFixture(t)
+	open := func() *cirank.Engine {
+		eng, err := cirank.Open(f.SnapshotPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	newServer := func(cfg server.Config) *httptest.Server {
+		srv, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		return ts
+	}
+	single := newServer(server.Config{Engine: open()})
+	multi := newServer(server.Config{Tenants: []server.TenantConfig{
+		{Name: "t0", Engine: open()},
+		{Name: "t1", Engine: open()},
+		{Name: "t2", Engine: open()},
+	}})
+
+	// results extracts the ranked answers' raw bytes — the part of the
+	// envelope that must match exactly (stats carry timings, the envelope a
+	// tenant name).
+	results := func(ts *httptest.Server, path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var env struct {
+			Results json.RawMessage `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return string(env.Results)
+	}
+	n := len(f.Queries)
+	if n > 25 {
+		n = 25
+	}
+	for i := 0; i < n; i++ {
+		path := f.Path(i)
+		want := results(single, path)
+		for _, tenant := range []string{"t0", "t1", "t2"} {
+			if got := results(multi, path+"&tenant="+tenant); got != want {
+				t.Fatalf("query %d: tenant %s rankings diverged from the dedicated server\nwant %s\ngot  %s",
+					i, tenant, want, got)
+			}
+		}
 	}
 }

@@ -26,7 +26,8 @@ import (
 // order and zeroing the volatile elapsed_ms timing field. fences=2 marks a
 // POST whose first fenced block is the request body; "deprecated" asserts
 // the Deprecation/Link headers; "snapshot" wires /v1/admin/reload up;
-// "sharded" serves the fixture as a two-shard scatter-gather set.
+// "sharded" serves the fixture as a two-shard scatter-gather set;
+// "tenants" serves the documented two-tenant registry (books + papers).
 
 type compatCase struct {
 	name       string
@@ -36,6 +37,7 @@ type compatCase struct {
 	deprecated bool
 	snapshot   bool
 	sharded    bool
+	tenants    bool
 	reqBody    string
 	wantBody   string
 }
@@ -95,6 +97,8 @@ func parseCompatDoc(t *testing.T) []compatCase {
 					c.snapshot = true
 				case flag == "sharded":
 					c.sharded = true
+				case flag == "tenants":
+					c.tenants = true
 				case strings.HasPrefix(flag, "fences="):
 					fencesWanted, _ = strconv.Atoi(strings.TrimPrefix(flag, "fences="))
 				default:
@@ -139,12 +143,15 @@ func canonicalJSON(t *testing.T, raw []byte) []byte {
 }
 
 // compatFixtureServer builds the documented fixture: the four-node
-// bibliography, optionally served from a snapshot with reload wired up, or
-// partitioned into the documented two-shard scatter-gather set.
-func compatFixtureServer(t *testing.T, snapshot, sharded bool) string {
+// bibliography, optionally served from a snapshot with reload wired up,
+// partitioned into the documented two-shard scatter-gather set, or split
+// into the documented two-tenant registry. The admission budget is pinned
+// so the documented healthz admission_budget fields are machine-independent
+// (the default derives from GOMAXPROCS).
+func compatFixtureServer(t *testing.T, c compatCase) string {
 	t.Helper()
-	cfg := Config{Engine: smallEngine(t)}
-	if snapshot {
+	cfg := Config{Engine: smallEngine(t), AdmissionBudget: 4096}
+	if c.snapshot {
 		path := saveSnapshot(t, smallEngine(t), t.TempDir())
 		opened, err := cirank.Open(path)
 		if err != nil {
@@ -153,13 +160,35 @@ func compatFixtureServer(t *testing.T, snapshot, sharded bool) string {
 		cfg.Engine = opened
 		cfg.SnapshotPath = path
 	}
-	if sharded {
+	if c.sharded {
 		engines, err := cirank.ShardEngines(smallEngine(t), 2, cirank.DefaultShardRadius)
 		if err != nil {
 			t.Fatal(err)
 		}
 		cfg.Engine = nil
 		cfg.Shards = engines
+	}
+	if c.tenants {
+		// The documented registry: the bibliography as "books", a variant
+		// with three extra papers as "papers" carrying twice the weight.
+		// With the snapshot flag, "books" serves from a snapshot and is the
+		// reload target of the documented tenant-scoped reload.
+		books := TenantConfig{Name: "books", Engine: smallEngine(t)}
+		if c.snapshot {
+			path := saveSnapshot(t, smallEngine(t), t.TempDir())
+			opened, err := cirank.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			books.Engine = opened
+			books.SnapshotPath = path
+		}
+		cfg.Engine = nil
+		cfg.SnapshotPath = ""
+		cfg.Tenants = []TenantConfig{
+			books,
+			{Name: "papers", Engine: ullmanVariant(t, 3), AdmissionWeight: 2},
+		}
 	}
 	_, ts := newTestServer(t, cfg)
 	return ts.URL
@@ -175,7 +204,7 @@ func TestAPICompat(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			url := compatFixtureServer(t, c.snapshot, c.sharded)
+			url := compatFixtureServer(t, c)
 			var resp *http.Response
 			var err error
 			switch c.method {

@@ -70,8 +70,10 @@ func (m *metrics) observe(d time.Duration) {
 }
 
 // scrapeView is one consistent-enough reading of the serving-stack state
-// that lives outside the metrics struct: engine caches, the result cache,
-// admission and the generation.
+// that lives outside the metrics struct: engine caches, the per-tenant
+// result caches, admission slices and generations. The top-level fields are
+// sums over the tenants, keeping the pre-tenant series' meanings; the
+// tenants slice feeds the tenant-labeled series.
 type scrapeView struct {
 	engineCache  cirank.CacheStats
 	generation   uint64
@@ -80,7 +82,24 @@ type scrapeView struct {
 	admitted     int64
 	admRejected  int64
 	inflightCost int64
-	// Per-shard gauges, emitted only on a sharded server.
+	tenants      []tenantScrape
+}
+
+// tenantScrape is one tenant's slice of the scrape, in sorted name order.
+type tenantScrape struct {
+	name         string
+	generation   uint64
+	leases       int64
+	weight       int64
+	budget       int64
+	inflightCost int64
+	admitted     int64
+	admRejected  int64
+	resultHits   int64
+	resultMisses int64
+	ok           int64
+	rejected     int64
+	// Per-shard gauges, emitted only for a sharded tenant.
 	shardGens   []uint64
 	shardLeases []int64
 }
@@ -88,22 +107,39 @@ type scrapeView struct {
 // scrape assembles the view for one /metrics exposition.
 func (s *Server) scrape(cache cirank.CacheStats) scrapeView {
 	v := scrapeView{
-		engineCache:  cache,
-		generation:   s.generation(),
-		admitted:     s.adm.admitted.Load(),
-		admRejected:  s.adm.rejected.Load(),
-		inflightCost: s.adm.cost.Load(),
+		engineCache: cache,
+		generation:  s.generation(),
 	}
-	if s.cache != nil {
-		v.resultHits, v.resultMisses = s.cache.stats()
-	}
-	if s.sharded() {
-		v.shardGens = make([]uint64, len(s.providers))
-		v.shardLeases = make([]int64, len(s.providers))
-		for i, p := range s.providers {
-			v.shardGens[i] = p.Generation()
-			v.shardLeases[i] = p.Leases()
+	for _, t := range s.reg.all() {
+		ts := tenantScrape{
+			name:         t.name,
+			generation:   t.generation(),
+			leases:       t.leases(),
+			weight:       t.weight,
+			budget:       t.adm.budget.Load(),
+			inflightCost: t.adm.cost.Load(),
+			admitted:     t.adm.admitted.Load(),
+			admRejected:  t.adm.rejected.Load(),
+			ok:           t.ok.Load(),
+			rejected:     t.rejected.Load(),
 		}
+		if t.cache != nil {
+			ts.resultHits, ts.resultMisses = t.cache.stats()
+		}
+		if t.sharded() {
+			ts.shardGens = make([]uint64, len(t.providers))
+			ts.shardLeases = make([]int64, len(t.providers))
+			for i, p := range t.providers {
+				ts.shardGens[i] = p.Generation()
+				ts.shardLeases[i] = p.Leases()
+			}
+		}
+		v.admitted += ts.admitted
+		v.admRejected += ts.admRejected
+		v.inflightCost += ts.inflightCost
+		v.resultHits += ts.resultHits
+		v.resultMisses += ts.resultMisses
+		v.tenants = append(v.tenants, ts)
 	}
 	return v
 }
@@ -159,15 +195,66 @@ func (m *metrics) writeTo(w io.Writer, v scrapeView) {
 		`{status="ok"}`, m.reloadsOK.Load(),
 		`{status="error"}`, m.reloadsFailed.Load(),
 	)
-	gauge("cirank_engine_generation", "Current engine generation (1 + successful reloads; the composite generation on a sharded server).", int64(v.generation))
-	if len(v.shardGens) > 0 {
+	gauge("cirank_engine_generation", "Current engine generation (1 + successful reloads; the composite generation on a sharded or multi-tenant server).", int64(v.generation))
+
+	// The tenant-labeled series: one set per registered tenant, in sorted
+	// name order. The unlabeled series above stay the process-wide sums, so
+	// pre-tenant dashboards keep reading the same totals.
+	tenantCounter := func(name, help string, per func(t tenantScrape) [][2]any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range v.tenants {
+			for _, p := range per(t) {
+				fmt.Fprintf(w, "%s{tenant=%q%s %v\n", name, t.name, p[0], p[1])
+			}
+		}
+	}
+	tenantGauge := func(name, help string, per func(t tenantScrape) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, t := range v.tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, t.name, per(t))
+		}
+	}
+	tenantCounter("cirank_tenant_queries_total", "Completed search queries per tenant by outcome.",
+		func(t tenantScrape) [][2]any {
+			return [][2]any{{`,status="ok"}`, t.ok}, {`,status="rejected"}`, t.rejected}}
+		})
+	tenantCounter("cirank_tenant_admission_total", "Per-tenant cost-based admission decisions by outcome.",
+		func(t tenantScrape) [][2]any {
+			return [][2]any{{`,result="admitted"}`, t.admitted}, {`,result="rejected"}`, t.admRejected}}
+		})
+	tenantCounter("cirank_tenant_result_cache_total", "Per-tenant result cache lookups by outcome.",
+		func(t tenantScrape) [][2]any {
+			return [][2]any{{`,result="hit"}`, t.resultHits}, {`,result="miss"}`, t.resultMisses}}
+		})
+	tenantGauge("cirank_tenant_generation", "Per-tenant composite engine generation.",
+		func(t tenantScrape) int64 { return int64(t.generation) })
+	tenantGauge("cirank_tenant_leases", "Outstanding engine leases per tenant.",
+		func(t tenantScrape) int64 { return t.leases })
+	tenantGauge("cirank_tenant_admission_weight", "Per-tenant share weight of the weighted-fair admission split.",
+		func(t tenantScrape) int64 { return t.weight })
+	tenantGauge("cirank_tenant_admission_budget", "Per-tenant fair share of the global admission budget.",
+		func(t tenantScrape) int64 { return t.budget })
+	tenantGauge("cirank_tenant_inflight_cost", "Per-tenant estimated cost of queries currently evaluating.",
+		func(t tenantScrape) int64 { return t.inflightCost })
+
+	sharded := false
+	for _, t := range v.tenants {
+		if len(t.shardGens) > 0 {
+			sharded = true
+		}
+	}
+	if sharded {
 		fmt.Fprintf(w, "# HELP cirank_shard_generation Per-shard provider generation.\n# TYPE cirank_shard_generation gauge\n")
-		for i, g := range v.shardGens {
-			fmt.Fprintf(w, "cirank_shard_generation{shard=\"%d\"} %d\n", i, g)
+		for _, t := range v.tenants {
+			for i, g := range t.shardGens {
+				fmt.Fprintf(w, "cirank_shard_generation{tenant=%q,shard=\"%d\"} %d\n", t.name, i, g)
+			}
 		}
 		fmt.Fprintf(w, "# HELP cirank_shard_leases Outstanding engine leases per shard.\n# TYPE cirank_shard_leases gauge\n")
-		for i, n := range v.shardLeases {
-			fmt.Fprintf(w, "cirank_shard_leases{shard=\"%d\"} %d\n", i, n)
+		for _, t := range v.tenants {
+			for i, n := range t.shardLeases {
+				fmt.Fprintf(w, "cirank_shard_leases{tenant=%q,shard=\"%d\"} %d\n", t.name, i, n)
+			}
 		}
 	}
 	gauge("cirank_inflight_queries", "Queries currently evaluating on the engine.", m.inflight.Load())

@@ -39,10 +39,14 @@ type apiError struct {
 	status int
 	code   string
 	msg    string
-	// retryAfter asks the response writer to attach a Retry-After header —
-	// set on load-shedding rejections, where the client's correct move is
-	// to back off and come back.
-	retryAfter bool
+	// retryAfterSecs asks the response writer to attach a Retry-After
+	// header with this many seconds — set on load-shedding rejections,
+	// where the client's correct move is to back off and come back. On a
+	// 429 the value is the rejecting tenant's own hint (see
+	// tenant.retryAfterHint), so a saturated tenant's clients back off
+	// harder than a tenant that merely lost a race for its last budget
+	// unit. 0 means no header.
+	retryAfterSecs int
 }
 
 // Error codes of the /v1 envelope; docs/api.md is the authoritative list.
@@ -55,6 +59,7 @@ const (
 	codeMethodNotAllowed = "method_not_allowed"
 	codeBadSnapshot      = "bad_snapshot"
 	codeBadBatch         = "bad_batch"
+	codeUnknownTenant    = "unknown_tenant"
 )
 
 // errOverCapacity is the internal signal that admission rejected the query.
@@ -89,22 +94,53 @@ func queryKey(gens []uint64, p searchParams) string {
 	return b.String()
 }
 
-// runQuery takes one validated query through the serving stack:
+// resolveAndRun is the single request path shared by every search handler,
+// legacy and /v1 alike: it resolves the query's tenant (the one owner of
+// tenant resolution), takes the query through the tenant's serving stack,
+// and keeps the global and per-tenant outcome counters. Handlers only
+// differ in how they render the returned outcome or error.
+func (s *Server) resolveAndRun(ctx context.Context, p searchParams) (*tenant, queryOutcome, string, *apiError) {
+	t, apiErr := s.resolveTenant(p.tenant)
+	if apiErr != nil {
+		return nil, queryOutcome{}, "", apiErr
+	}
+	out, served, apiErr := s.runQuery(ctx, t, p)
+	if apiErr != nil {
+		s.countFailure(t, apiErr)
+		return t, queryOutcome{}, "", apiErr
+	}
+	s.recordSuccess(t, out)
+	return t, out, served, nil
+}
+
+// countFailure records a failed query against the global counters and —
+// for load sheds — the rejecting tenant's own series.
+func (s *Server) countFailure(t *tenant, e *apiError) {
+	s.m.countOutcome(e)
+	if t != nil && e.status == http.StatusTooManyRequests {
+		t.rejected.Add(1)
+	}
+}
+
+// runQuery takes one validated query through its tenant's serving stack:
 //
 //	lease → result cache → singleflight → cost admission → engine
 //
+// Cache, flight group and admission are the tenant's own: a hot reload of
+// one tenant invalidates only its keys, and a posting-heavy tenant sheds
+// load against its fair budget share without touching its neighbours'.
 // It returns the outcome, which layer served it (ServedEngine, ServedCache
 // or ServedCoalesced), and the failure mapped for the wire. ctx is the
 // requesting client's context: it bounds how long this caller waits, but —
 // when coalescing is on — not how long the evaluation runs, because other
 // requests may be riding the same flight (the evaluation carries its own
 // deadline from the query's timeout parameter).
-func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, string, *apiError) {
-	// Borrow the current engine — or the full shard set — for exactly this
-	// request. The leases pin the generation vector: the key derived from it
-	// can only ever hit results computed against the engines this request
-	// actually sees.
-	ql, apiErr := s.acquire()
+func (s *Server) runQuery(ctx context.Context, t *tenant, p searchParams) (queryOutcome, string, *apiError) {
+	// Borrow the tenant's current engine — or its full shard set — for
+	// exactly this request. The leases pin the generation vector: the key
+	// derived from it can only ever hit results computed against the
+	// engines this request actually sees.
+	ql, apiErr := t.acquire()
 	if apiErr != nil {
 		return queryOutcome{}, "", apiErr
 	}
@@ -116,8 +152,8 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 	// Result cache first: a hit costs no admission budget and no engine
 	// work, which is exactly why it sits before load shedding — a saturated
 	// server keeps answering its hot queries.
-	if s.cache != nil {
-		if out, ok := s.cache.get(key); ok {
+	if t.cache != nil {
+		if out, ok := t.cache.get(key); ok {
 			return out, ServedCache, nil
 		}
 	}
@@ -126,10 +162,10 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 		// Cost-based admission, inside the flight: a thundering herd on one
 		// hot query charges the budget once, through its leader.
 		cost := queryCost(ql.engine, p.terms)
-		if !s.adm.tryAcquire(cost) {
+		if !t.adm.tryAcquire(cost) {
 			return queryOutcome{}, errOverCapacity
 		}
-		defer s.adm.release(cost)
+		defer t.adm.release(cost)
 		s.m.inflight.Add(1)
 		defer s.m.inflight.Add(-1)
 
@@ -153,8 +189,8 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 		// scheduler, not the query's answer — never cache them. Truncated
 		// results are deterministic for the key (the expansion cap is part
 		// of it) and cache fine.
-		if s.cache != nil && !res.Stats.Interrupted {
-			s.cache.add(key, out)
+		if t.cache != nil && !res.Stats.Interrupted {
+			t.cache.add(key, out)
 		}
 		return out, nil
 	}
@@ -165,7 +201,7 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 		err       error
 	)
 	if s.coalesce {
-		out, coalesced, err = s.flight.Do(ctx, key, eval)
+		out, coalesced, err = t.flight.Do(ctx, key, eval)
 		if coalesced {
 			s.m.coalesced.Add(1)
 		} else {
@@ -175,7 +211,11 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 		out, err = eval()
 	}
 	if err != nil {
-		return queryOutcome{}, "", mapQueryError(err)
+		apiErr := mapQueryError(err)
+		if apiErr.code == codeOverCapacity {
+			apiErr.retryAfterSecs = t.retryAfterHint()
+		}
+		return queryOutcome{}, "", apiErr
 	}
 	served := ServedEngine
 	if coalesced {
@@ -188,7 +228,7 @@ func (s *Server) runQuery(ctx context.Context, p searchParams) (queryOutcome, st
 func mapQueryError(err error) *apiError {
 	switch {
 	case errors.Is(err, errOverCapacity):
-		return &apiError{status: http.StatusTooManyRequests, code: codeOverCapacity, msg: "server at capacity", retryAfter: true}
+		return &apiError{status: http.StatusTooManyRequests, code: codeOverCapacity, msg: "server at capacity", retryAfterSecs: 1}
 	case errors.Is(err, cirank.ErrDeadline), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The caller's context died before an answer existed: the client
 		// disconnected, its deadline passed while waiting on a flight, or

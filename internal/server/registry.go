@@ -1,0 +1,358 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cirank"
+)
+
+// The tenant registry: one process, many named corpora. Each tenant owns an
+// independently reloadable engine (or shard set) behind its own refcounted
+// providers, plus its own slice of the serving stack — result cache,
+// singleflight group and cost-based admission — so one tenant's hot reload
+// or posting-heavy traffic cannot invalidate another's cache, ride its
+// flights, or starve its budget. The global admission budget is divided by
+// a weighted-fair policy (see Server.rebalance); request routing resolves
+// the tenant exactly once, in Server.resolveTenant, for legacy and /v1
+// handlers alike.
+
+// DefaultTenantName is the name a single-tenant Config's implicit tenant
+// gets: configuring Engine/Shards without Tenants serves the corpus as the
+// tenant "default", and requests without a tenant parameter resolve to the
+// sole tenant either way.
+const DefaultTenantName = "default"
+
+// TenantConfig describes one named corpus of a multi-tenant Server.
+type TenantConfig struct {
+	// Name identifies the tenant on the wire (the tenant request parameter,
+	// healthz blocks, metric labels). It must match [A-Za-z0-9][A-Za-z0-9._-]*,
+	// at most 64 characters, and be unique within the server.
+	Name string
+	// Engine is the tenant's query-ready engine. Exactly one of Engine and
+	// Shards must be set.
+	Engine *cirank.Engine
+	// Shards, when non-empty, serves this tenant as a partitioned engine set
+	// behind the scatter-gather coordinator, exactly like Config.Shards.
+	Shards []*cirank.Engine
+	// SnapshotPath, when non-empty, enables hot reload for this tenant
+	// (POST /v1/admin/reload?tenant=<name>); on a sharded tenant it is the
+	// shard-set base path.
+	SnapshotPath string
+	// ResultCacheSize overrides Config.ResultCacheSize for this tenant:
+	// 0 inherits the server-wide setting, negative disables the tenant's
+	// result cache.
+	ResultCacheSize int
+	// AdmissionWeight is the tenant's share weight in the weighted-fair
+	// split of Config.AdmissionBudget: a tenant's budget is
+	// AdmissionBudget × weight / Σweights. 0 means weight 1.
+	AdmissionWeight int
+}
+
+// tenant is one registry entry: a named corpus with its own providers and
+// its own slice of the serving stack.
+type tenant struct {
+	name         string
+	snapshotPath string
+	// providers hand out per-request engine leases; length 1 on an
+	// unsharded tenant, one per shard otherwise.
+	providers []*Provider
+	// weight is the tenant's share in the weighted-fair budget split.
+	weight int64
+	// flight coalesces identical in-flight queries within this tenant;
+	// cache holds its complete outcomes (nil when caching is disabled);
+	// adm sheds its load against the tenant's fair budget share.
+	flight flightGroup
+	cache  *resultCache
+	adm    admission
+	// Per-tenant outcome counters behind the tenant-labeled metric series.
+	ok, rejected atomic.Int64
+}
+
+// sharded reports whether the tenant serves a partitioned engine set.
+func (t *tenant) sharded() bool { return len(t.providers) > 1 }
+
+// generation is the tenant's composite generation (the provider generation
+// unchanged on an unsharded tenant).
+func (t *tenant) generation() uint64 {
+	gens := make([]uint64, len(t.providers))
+	for i, p := range t.providers {
+		gens[i] = p.Generation()
+	}
+	return compositeGeneration(gens)
+}
+
+// leases sums the outstanding engine leases across the tenant's providers.
+func (t *tenant) leases() int64 {
+	var n int64
+	for _, p := range t.providers {
+		n += p.Leases()
+	}
+	return n
+}
+
+// retryAfterHint prices a 429 for this tenant: the further the tenant's
+// in-flight cost is over its own budget share, the longer the advised
+// back-off, clamped to [1s, 30s] — so a client of a saturated tenant backs
+// off harder than a client that lost a photo-finish race for the last unit.
+func (t *tenant) retryAfterHint() int {
+	budget := t.adm.budget.Load()
+	if budget <= 0 {
+		return 1
+	}
+	over := t.adm.cost.Load() / budget
+	if over < 0 {
+		over = 0
+	}
+	if over > 29 {
+		over = 29
+	}
+	return 1 + int(over)
+}
+
+// registry is the name → tenant map behind the Server. Lookups take a read
+// lock only; mutation (AddTenant, RemoveTenant) is rare and writer-locked.
+type registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// get returns the named tenant, if registered.
+func (r *registry) get(name string) (*tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tenants[name]
+	return t, ok
+}
+
+// sole returns the only tenant when exactly one is registered — the
+// back-compat default for requests without a tenant parameter.
+func (r *registry) sole() (*tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.tenants) != 1 {
+		return nil, false
+	}
+	for _, t := range r.tenants {
+		return t, true
+	}
+	return nil, false
+}
+
+// size reports the number of registered tenants.
+func (r *registry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
+
+// all returns every tenant in sorted name order — the iteration order of
+// healthz blocks, metric series and the server-wide composite generation.
+func (r *registry) all() []*tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*tenant, len(names))
+	for i, name := range names {
+		out[i] = r.tenants[name]
+	}
+	return out
+}
+
+// insert registers t, failing on a duplicate name.
+func (r *registry) insert(t *tenant) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tenants == nil {
+		r.tenants = make(map[string]*tenant)
+	}
+	if _, dup := r.tenants[t.name]; dup {
+		return fmt.Errorf("%w: duplicate tenant name %q", ErrBadConfig, t.name)
+	}
+	r.tenants[t.name] = t
+	return nil
+}
+
+// remove unregisters and returns the named tenant.
+func (r *registry) remove(name string) (*tenant, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[name]
+	if ok {
+		delete(r.tenants, name)
+	}
+	return t, ok
+}
+
+// tenantNameRe is the wire-safe tenant name shape: it appears verbatim in
+// URLs, JSON and Prometheus label values, so no quoting-sensitive characters.
+var tenantNameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// normalizeTenant validates one tenant config against the server config and
+// fills its inherited defaults. Shared by Config.withDefaults and AddTenant
+// so startup and runtime tenants pass exactly the same gate.
+func (c Config) normalizeTenant(tc TenantConfig) (TenantConfig, error) {
+	if !tenantNameRe.MatchString(tc.Name) {
+		return tc, fmt.Errorf("%w: bad tenant name %q: want [A-Za-z0-9][A-Za-z0-9._-]*, at most 64 characters", ErrBadConfig, tc.Name)
+	}
+	switch {
+	case tc.Engine == nil && len(tc.Shards) == 0:
+		return tc, fmt.Errorf("%w: tenant %q: Engine or Shards is required", ErrBadConfig, tc.Name)
+	case tc.Engine != nil && len(tc.Shards) > 0:
+		return tc, fmt.Errorf("%w: tenant %q: Engine and Shards are mutually exclusive", ErrBadConfig, tc.Name)
+	}
+	if tc.AdmissionWeight < 0 {
+		return tc, fmt.Errorf("%w: tenant %q: negative AdmissionWeight %d", ErrBadConfig, tc.Name, tc.AdmissionWeight)
+	}
+	if tc.AdmissionWeight == 0 {
+		tc.AdmissionWeight = 1
+	}
+	if tc.ResultCacheSize == 0 {
+		tc.ResultCacheSize = c.ResultCacheSize
+	}
+	if len(tc.Shards) > 0 {
+		// Reject a broken set at startup instead of on the first query; the
+		// validated coordinator is discarded, requests assemble their own
+		// over the engines they lease.
+		se, err := cirank.NewSharded(tc.Shards)
+		if err != nil {
+			return tc, fmt.Errorf("%w: tenant %q: %v", ErrBadConfig, tc.Name, err)
+		}
+		// The exactness horizon: a shard set with halo radius r certifies
+		// answer diameters up to 2r, so a diameter limit beyond it would turn
+		// every default-diameter query into a 400.
+		if c.MaxDiameter > 2*se.Radius() {
+			return tc, fmt.Errorf("%w: tenant %q: MaxDiameter %d exceeds the shard set's exactness horizon %d (halo radius %d)",
+				ErrBadConfig, tc.Name, c.MaxDiameter, 2*se.Radius(), se.Radius())
+		}
+	}
+	return tc, nil
+}
+
+// newTenant assembles the registry entry for a normalized tenant config:
+// providers over its engines, its own cache/flight/admission slice. The
+// admission budget starts at the whole global budget; rebalance immediately
+// narrows it to the tenant's fair share.
+func (s *Server) newTenant(tc TenantConfig) *tenant {
+	engines := tc.Shards
+	if len(engines) == 0 {
+		engines = []*cirank.Engine{tc.Engine}
+	}
+	providers := make([]*Provider, len(engines))
+	for i, e := range engines {
+		providers[i] = NewProvider(e)
+	}
+	t := &tenant{
+		name:         tc.Name,
+		snapshotPath: tc.SnapshotPath,
+		providers:    providers,
+		weight:       int64(tc.AdmissionWeight),
+	}
+	t.adm.maxConcurrent = int64(s.cfg.MaxInFlight)
+	t.adm.budget.Store(s.cfg.AdmissionBudget)
+	if tc.ResultCacheSize > 0 {
+		t.cache = newResultCache(tc.ResultCacheSize)
+	}
+	return t
+}
+
+// rebalance recomputes every tenant's admission budget as its weighted-fair
+// share of the global budget: AdmissionBudget × weight / Σweights, at least
+// 1. Called whenever the tenant set changes; the shares are atomic, so
+// in-flight admission decisions simply see the new budget on their next
+// load.
+func (s *Server) rebalance() {
+	tenants := s.reg.all()
+	var total int64
+	for _, t := range tenants {
+		total += t.weight
+	}
+	if total <= 0 {
+		return
+	}
+	for _, t := range tenants {
+		share := s.cfg.AdmissionBudget * t.weight / total
+		if share < 1 {
+			share = 1
+		}
+		t.adm.budget.Store(share)
+	}
+}
+
+// resolveTenant maps a request's tenant parameter to its registry entry —
+// the single owner of tenant resolution, shared by every handler, legacy
+// and /v1 alike. An empty name resolves to the sole tenant (single-tenant
+// back-compat); on a multi-tenant server the parameter is required, and an
+// unknown name is a 404 with the typed unknown_tenant code.
+func (s *Server) resolveTenant(name string) (*tenant, *apiError) {
+	if name == "" {
+		if t, ok := s.reg.sole(); ok {
+			return t, nil
+		}
+		if s.reg.size() == 0 {
+			return nil, &apiError{status: http.StatusServiceUnavailable, code: codeUnavailable,
+				msg: "no tenants are being served"}
+		}
+		return nil, &apiError{status: http.StatusBadRequest, code: codeBadRequest,
+			msg: "tenant parameter required on a multi-tenant server"}
+	}
+	if t, ok := s.reg.get(name); ok {
+		return t, nil
+	}
+	return nil, &apiError{status: http.StatusNotFound, code: codeUnknownTenant,
+		msg: fmt.Sprintf("unknown tenant %q", name)}
+}
+
+// AddTenant registers a new tenant at runtime and rebalances the fair
+// budget shares. The config passes exactly the validation a startup tenant
+// does; on error the engines stay the caller's to close. Note the reload
+// endpoints are only mounted when some startup tenant configured a
+// snapshot path — a runtime tenant's SnapshotPath is honored whenever the
+// endpoints exist.
+func (s *Server) AddTenant(tc TenantConfig) error {
+	tc, err := s.cfg.normalizeTenant(tc)
+	if err != nil {
+		return err
+	}
+	t := s.newTenant(tc)
+	if err := s.reg.insert(t); err != nil {
+		return err
+	}
+	s.rebalance()
+	return nil
+}
+
+// RemoveTenant unregisters the named tenant, rebalances the fair budget
+// shares, and retires the tenant's engines: requests already holding leases
+// finish against the engines they borrowed, new requests get 404, and each
+// engine is closed once its leases drain. It reports whether the drain
+// completed within Config.ReloadDrainTimeout — false is not a failure, the
+// tenant is gone either way and stragglers keep computing safely.
+func (s *Server) RemoveTenant(name string) (bool, error) {
+	t, ok := s.reg.remove(name)
+	if !ok {
+		return false, fmt.Errorf("server: unknown tenant %q", name)
+	}
+	s.rebalance()
+	drained := true
+	deadline := time.Now().Add(s.cfg.ReloadDrainTimeout)
+	for _, p := range t.providers {
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if !p.CloseWait(remaining) {
+			drained = false
+		}
+	}
+	return drained, nil
+}

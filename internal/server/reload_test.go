@@ -399,7 +399,7 @@ func TestReloadUnderQueryLoad(t *testing.T) {
 	}
 	// The storm must have exercised the cache, and the books must balance:
 	// every OK answer came from exactly one serving layer.
-	hits, _ := s.cache.stats()
+	hits, _ := s.firstTenant().cache.stats()
 	if hits == 0 {
 		t.Error("no result-cache hits across the storm; the cached path never straddled a reload")
 	}

@@ -43,6 +43,17 @@
 // generation becomes the composite of the per-shard generations, and cache
 // and coalescing keys carry the full generation vector — the single-engine
 // key discipline, per shard.
+//
+// One process can serve many corpora at once: Config.Tenants registers a
+// named engine (or shard set) per tenant, each behind its own providers,
+// result cache, singleflight group and admission slice (registry.go). The
+// tenant request parameter selects the corpus (defaulting to the sole
+// tenant), /v1/healthz reports a block per tenant, /metrics labels the
+// per-tenant series, and the global admission budget is split by a
+// weighted-fair policy so one tenant's heavy queries cannot starve another.
+// Tenants hot-reload independently (/v1/admin/reload?tenant=<name>) and can
+// be added or removed at runtime with lease-drained retirement
+// (Server.AddTenant, Server.RemoveTenant).
 package server
 
 import (
@@ -93,6 +104,13 @@ type Config struct {
 	// MaxExpansions caps branch-and-bound work per query (default 200000;
 	// -1 removes the cap, leaving the timeout as the only bound).
 	MaxExpansions int
+	// Tenants, when non-empty, serves several named corpora from one
+	// process: each entry gets its own providers, result cache, singleflight
+	// group and weighted-fair admission share (see TenantConfig). Mutually
+	// exclusive with Engine/Shards/SnapshotPath, which are the single-tenant
+	// shorthand: configuring them is equivalent to one Tenants entry named
+	// DefaultTenantName.
+	Tenants []TenantConfig
 	// SnapshotPath, when non-empty, enables POST /v1/admin/reload (and its
 	// legacy alias): the handler opens this snapshot file with cirank.Open
 	// and hot-swaps the resulting engine in, discarding the result cache.
@@ -141,14 +159,21 @@ type Config struct {
 // (CoalesceEnabled).
 func Bool(v bool) *bool { return &v }
 
-// withDefaults validates the config and fills the zero fields. Every
-// failure wraps ErrBadConfig.
+// withDefaults validates the config and fills the zero fields, normalizing
+// the single-tenant shorthand (Engine/Shards/SnapshotPath) into a one-entry
+// Tenants list named DefaultTenantName. Every failure wraps ErrBadConfig.
 func (c Config) withDefaults() (Config, error) {
-	switch {
-	case c.Engine == nil && len(c.Shards) == 0:
-		return c, fmt.Errorf("%w: Engine or Shards is required", ErrBadConfig)
-	case c.Engine != nil && len(c.Shards) > 0:
-		return c, fmt.Errorf("%w: Engine and Shards are mutually exclusive", ErrBadConfig)
+	if len(c.Tenants) > 0 {
+		if c.Engine != nil || len(c.Shards) > 0 || c.SnapshotPath != "" {
+			return c, fmt.Errorf("%w: Tenants is mutually exclusive with Engine, Shards and SnapshotPath", ErrBadConfig)
+		}
+	} else {
+		switch {
+		case c.Engine == nil && len(c.Shards) == 0:
+			return c, fmt.Errorf("%w: Engine, Shards or Tenants is required", ErrBadConfig)
+		case c.Engine != nil && len(c.Shards) > 0:
+			return c, fmt.Errorf("%w: Engine and Shards are mutually exclusive", ErrBadConfig)
+		}
 	}
 	if c.DefaultK == 0 {
 		c.DefaultK = 5
@@ -204,22 +229,33 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxExpansions < -1 {
 		return c, fmt.Errorf("%w: MaxExpansions %d (use -1 to remove the cap)", ErrBadConfig, c.MaxExpansions)
 	}
-	if len(c.Shards) > 0 {
-		// Reject a broken set at startup instead of on the first query; the
-		// validated coordinator is discarded, requests assemble their own
-		// over the engines they lease.
-		se, err := cirank.NewSharded(c.Shards)
-		if err != nil {
-			return c, fmt.Errorf("%w: %v", ErrBadConfig, err)
-		}
-		// The exactness horizon: a shard set with halo radius r certifies
-		// answer diameters up to 2r, so a diameter limit beyond it would turn
-		// every default-diameter query into a 400.
-		if c.MaxDiameter > 2*se.Radius() {
-			return c, fmt.Errorf("%w: MaxDiameter %d exceeds the shard set's exactness horizon %d (halo radius %d)",
-				ErrBadConfig, c.MaxDiameter, 2*se.Radius(), se.Radius())
-		}
+	// Normalize to the tenant form: the single-tenant shorthand becomes one
+	// entry named DefaultTenantName, then every tenant — explicit or
+	// synthesized — passes the same validation (shard-set coherence, the
+	// exactness horizon, name shape, weights).
+	tenants := c.Tenants
+	if len(tenants) == 0 {
+		tenants = []TenantConfig{{
+			Name:         DefaultTenantName,
+			Engine:       c.Engine,
+			Shards:       c.Shards,
+			SnapshotPath: c.SnapshotPath,
+		}}
 	}
+	normalized := make([]TenantConfig, len(tenants))
+	seen := make(map[string]bool, len(tenants))
+	for i, tc := range tenants {
+		ntc, err := c.normalizeTenant(tc)
+		if err != nil {
+			return c, err
+		}
+		if seen[ntc.Name] {
+			return c, fmt.Errorf("%w: duplicate tenant name %q", ErrBadConfig, ntc.Name)
+		}
+		seen[ntc.Name] = true
+		normalized[i] = ntc
+	}
+	c.Tenants = normalized
 	return c, nil
 }
 
@@ -228,19 +264,14 @@ func (c Config) withDefaults() (Config, error) {
 // http.Server.
 type Server struct {
 	cfg Config
-	// providers hand out per-request engine leases and own the swap
-	// semantics; the server never stores a bare engine. One provider on an
-	// unsharded server, one per shard otherwise (see shardset.go).
-	providers []*Provider
-	// reloadMu serializes reloads: loading a snapshot is expensive and
-	// concurrent reloads would race to be "the" new generation.
+	// reg is the tenant registry: every named corpus with its own
+	// providers, cache, flight group and admission slice (registry.go). The
+	// server never stores a bare engine.
+	reg registry
+	// reloadMu serializes reloads across tenants: loading a snapshot is
+	// expensive and concurrent reloads would race to be "the" new
+	// generation.
 	reloadMu sync.Mutex
-	// flight coalesces identical in-flight queries; cache holds complete
-	// outcomes keyed by generation; adm is the cost-based load shedder.
-	// cache is nil when result caching is disabled.
-	flight   flightGroup
-	cache    *resultCache
-	adm      admission
 	coalesce bool
 	m        metrics
 	mux      *http.ServeMux
@@ -248,63 +279,73 @@ type Server struct {
 
 // New validates the config and assembles a Server. The server's Providers
 // take over the engines' lifecycles: each engine is closed when swapped out
-// by a reload (after its in-flight queries drain) or by Server.Close.
+// by a reload (after its in-flight queries drain), when its tenant is
+// removed, or by Server.Close.
 func New(cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	engines := cfg.Shards
-	if len(engines) == 0 {
-		engines = []*cirank.Engine{cfg.Engine}
-	}
-	providers := make([]*Provider, len(engines))
-	for i, e := range engines {
-		providers[i] = NewProvider(e)
-	}
 	s := &Server{
-		cfg:       cfg,
-		providers: providers,
-		coalesce:  *cfg.CoalesceEnabled,
-		adm: admission{
-			budget:        cfg.AdmissionBudget,
-			maxConcurrent: int64(cfg.MaxInFlight),
-		},
-		mux: http.NewServeMux(),
+		cfg:      cfg,
+		coalesce: *cfg.CoalesceEnabled,
+		mux:      http.NewServeMux(),
 	}
-	if cfg.ResultCacheSize > 0 {
-		s.cache = newResultCache(cfg.ResultCacheSize)
+	reloadConfigured := false
+	for _, tc := range cfg.Tenants {
+		if err := s.reg.insert(s.newTenant(tc)); err != nil {
+			return nil, err
+		}
+		if tc.SnapshotPath != "" {
+			reloadConfigured = true
+		}
 	}
+	s.rebalance()
 	s.mux.HandleFunc("/v1/search", s.handleV1Search)
 	s.mux.HandleFunc("/v1/healthz", s.handleV1Healthz)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetricsExposition)
 	s.mux.HandleFunc("/search", s.handleLegacySearch)
 	s.mux.HandleFunc("/healthz", s.handleLegacyHealthz)
 	s.mux.HandleFunc("/metrics", s.handleLegacyMetrics)
-	if cfg.SnapshotPath != "" {
+	if reloadConfigured {
 		s.mux.HandleFunc("/v1/admin/reload", s.handleV1Reload)
 		s.mux.HandleFunc("/admin/reload", s.handleLegacyReload)
 	}
 	return s, nil
 }
 
+// firstTenant returns the first tenant in sorted name order — the sole
+// tenant of a single-tenant server — backing the single-tenant accessor
+// methods below.
+func (s *Server) firstTenant() *tenant {
+	tenants := s.reg.all()
+	if len(tenants) == 0 {
+		return nil
+	}
+	return tenants[0]
+}
+
 // Provider returns the server's engine provider — the shard-0 provider on a
-// sharded server — for tests and embedders that need to observe or drive
-// engine swaps directly.
-func (s *Server) Provider() *Provider { return s.providers[0] }
+// sharded server, the first tenant's in name order on a multi-tenant one —
+// for tests and embedders that need to observe or drive engine swaps
+// directly.
+func (s *Server) Provider() *Provider { return s.firstTenant().providers[0] }
 
-// NumShards reports how many partitions the server serves (1 when unsharded).
-func (s *Server) NumShards() int { return len(s.providers) }
+// NumShards reports how many partitions the server's first tenant serves
+// (1 when unsharded).
+func (s *Server) NumShards() int { return len(s.firstTenant().providers) }
 
-// ShardProvider returns shard i's provider.
-func (s *Server) ShardProvider(i int) *Provider { return s.providers[i] }
+// ShardProvider returns the first tenant's shard-i provider.
+func (s *Server) ShardProvider(i int) *Provider { return s.firstTenant().providers[i] }
 
-// Close retires every current engine: in-flight queries finish against the
-// generations they leased, new ones get 503, and each engine is closed once
-// its leases drain.
+// Close retires every tenant's current engines: in-flight queries finish
+// against the generations they leased, new ones get 503, and each engine is
+// closed once its leases drain.
 func (s *Server) Close() {
-	for _, p := range s.providers {
-		p.Close()
+	for _, t := range s.reg.all() {
+		for _, p := range t.providers {
+			p.Close()
+		}
 	}
 }
 
@@ -420,8 +461,10 @@ func deprecate(w http.ResponseWriter, successor string) {
 }
 
 // handleLegacySearch serves the pre-v1 /search wire format over the same
-// serving stack as /v1/search (coalescing, result cache and cost admission
-// included), marked deprecated.
+// serving stack as /v1/search (tenant resolution, coalescing, result cache
+// and cost admission included), marked deprecated. The frozen body shape
+// has no tenant field; the tenant request parameter still selects the
+// corpus through the shared resolveAndRun path.
 func (s *Server) handleLegacySearch(w http.ResponseWriter, r *http.Request) {
 	deprecate(w, "/v1/search")
 	if r.Method != http.MethodGet {
@@ -435,37 +478,63 @@ func (s *Server) handleLegacySearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: errMsg})
 		return
 	}
-	out, _, apiErr := s.runQuery(r.Context(), params)
+	_, out, _, apiErr := s.resolveAndRun(r.Context(), params)
 	if apiErr != nil {
-		s.m.countOutcome(apiErr)
-		if apiErr.retryAfter {
-			w.Header().Set("Retry-After", "1")
+		if apiErr.retryAfterSecs > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(apiErr.retryAfterSecs))
 		}
 		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
 		return
 	}
-	s.recordSuccess(out)
 	writeJSON(w, http.StatusOK, searchResponse(params, out.res))
 }
 
 // handleLegacyHealthz answers the pre-v1 liveness probe, marked deprecated.
-// On a sharded server the frozen body shape reports the whole set: global
-// node/edge totals, the composite generation, shard 0's source.
+// The frozen body shape reports one corpus view: the tenant selected by the
+// tenant parameter, the sole tenant when absent, or — on a multi-tenant
+// server with no selector — the whole process (node/edge totals summed
+// across tenants, the server-wide composite generation, the first tenant's
+// source).
 func (s *Server) handleLegacyHealthz(w http.ResponseWriter, r *http.Request) {
 	deprecate(w, "/v1/healthz")
-	ql, apiErr := s.acquire()
+	tenants, apiErr := s.healthTargets(r)
 	if apiErr != nil {
-		writeJSON(w, apiErr.status, HealthResponse{Status: "closed"})
+		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
 		return
 	}
-	defer ql.Release()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:     "ok",
-		Nodes:      ql.engine.NumNodes(),
-		Edges:      ql.engine.NumEdges(),
-		Generation: compositeGeneration(ql.generations()),
-		Source:     ql.leases[0].Engine().BuildStats().Source,
-	})
+	resp := HealthResponse{Status: "ok", Generation: s.generation()}
+	for _, t := range tenants {
+		ql, apiErr := t.acquire()
+		if apiErr != nil {
+			writeJSON(w, apiErr.status, HealthResponse{Status: "closed"})
+			return
+		}
+		resp.Nodes += ql.engine.NumNodes()
+		resp.Edges += ql.engine.NumEdges()
+		if resp.Source == "" {
+			resp.Source = ql.leases[0].Engine().BuildStats().Source
+		}
+		if len(tenants) == 1 {
+			resp.Generation = compositeGeneration(ql.generations())
+		}
+		ql.Release()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthTargets resolves which tenants a healthz probe reports: the one the
+// tenant parameter names, the sole tenant when absent, or every tenant on a
+// multi-tenant server with no selector.
+func (s *Server) healthTargets(r *http.Request) ([]*tenant, *apiError) {
+	name := r.URL.Query().Get("tenant")
+	if name == "" && s.reg.size() > 1 {
+		return s.reg.all(), nil
+	}
+	t, apiErr := s.resolveTenant(name)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return []*tenant{t}, nil
 }
 
 // handleLegacyMetrics serves the Prometheus exposition on the deprecated
@@ -484,12 +553,17 @@ func (s *Server) handleLegacyReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
 		return
 	}
-	shard, apiErr := s.parseShardParam(r)
+	t, apiErr := s.resolveTenant(r.URL.Query().Get("tenant"))
 	if apiErr != nil {
 		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
 		return
 	}
-	rel, apiErr := s.reload(shard)
+	shard, apiErr := parseShardParam(r, t)
+	if apiErr != nil {
+		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
+		return
+	}
+	rel, apiErr := s.reload(t, shard)
 	if apiErr != nil {
 		writeJSON(w, apiErr.status, ErrorResponse{Error: apiErr.msg})
 		return
@@ -497,9 +571,11 @@ func (s *Server) handleLegacyReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rel)
 }
 
-// recordSuccess updates the per-outcome counters for one 200 answer.
-func (s *Server) recordSuccess(out queryOutcome) {
+// recordSuccess updates the global and per-tenant counters for one 200
+// answer.
+func (s *Server) recordSuccess(t *tenant, out queryOutcome) {
 	s.m.ok.Add(1)
+	t.ok.Add(1)
 	if out.res.Stats.Interrupted {
 		s.m.interrupted.Add(1)
 	}
@@ -513,6 +589,7 @@ func (s *Server) recordSuccess(out queryOutcome) {
 // searchParams are the validated inputs of one query.
 type searchParams struct {
 	query   string
+	tenant  string
 	terms   []string
 	k       int
 	timeout time.Duration
@@ -531,6 +608,7 @@ func (s *Server) parseSearchParams(r *http.Request) (searchParams, string) {
 func (s *Server) validateParams(get func(string) string) (searchParams, string) {
 	p := searchParams{
 		query:   get("q"),
+		tenant:  get("tenant"),
 		k:       s.cfg.DefaultK,
 		timeout: s.cfg.DefaultTimeout,
 		opts: cirank.SearchOptions{
@@ -614,19 +692,25 @@ func wireAnswers(res cirank.SearchResult) []Answer {
 	return out
 }
 
-// reload re-opens the configured snapshot(s) and hot-swaps engines,
-// discarding the result cache. shard selects one partition of a sharded
-// server; -1 reloads everything the server holds. Reloads are serialized;
-// checksum and structural validation happen inside cirank.Open — and a
-// sharded reload additionally demands the file identify itself as the right
-// shard of the right set size — so a corrupt or misplaced file never becomes
-// a serving engine: nothing is swapped unless every selected file opened.
-func (s *Server) reload(shard int) (ReloadResponse, *apiError) {
+// reload re-opens the tenant's configured snapshot(s) and hot-swaps its
+// engines, discarding the tenant's result cache — other tenants' caches,
+// flights and generations are untouched. shard selects one partition of a
+// sharded tenant; -1 reloads everything the tenant holds. Reloads are
+// serialized; checksum and structural validation happen inside cirank.Open
+// — and a sharded reload additionally demands the file identify itself as
+// the right shard of the right set size — so a corrupt or misplaced file
+// never becomes a serving engine: nothing is swapped unless every selected
+// file opened.
+func (s *Server) reload(t *tenant, shard int) (ReloadResponse, *apiError) {
+	if t.snapshotPath == "" {
+		return ReloadResponse{}, &apiError{status: http.StatusBadRequest, code: codeBadRequest,
+			msg: fmt.Sprintf("tenant %q serves no snapshot; reload is not configured for it", t.name)}
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	idxs := []int{shard}
 	if shard < 0 {
-		idxs = make([]int, len(s.providers))
+		idxs = make([]int, len(t.providers))
 		for i := range idxs {
 			idxs[i] = i
 		}
@@ -640,8 +724,8 @@ func (s *Server) reload(shard int) (ReloadResponse, *apiError) {
 		return ReloadResponse{}, e
 	}
 	for _, i := range idxs {
-		path := s.cfg.SnapshotPath
-		if s.sharded() {
+		path := t.snapshotPath
+		if t.sharded() {
 			path = cirank.ShardSnapshotPath(path, i)
 		}
 		eng, err := cirank.Open(path)
@@ -652,10 +736,10 @@ func (s *Server) reload(shard int) (ReloadResponse, *apiError) {
 			return fail(&apiError{status: http.StatusInternalServerError, code: codeInternal, msg: err.Error()})
 		}
 		engines = append(engines, eng)
-		if s.sharded() {
-			if info, ok := eng.ShardInfo(); !ok || info.Index != i || info.Count != len(s.providers) {
+		if t.sharded() {
+			if info, ok := eng.ShardInfo(); !ok || info.Index != i || info.Count != len(t.providers) {
 				return fail(&apiError{status: http.StatusUnprocessableEntity, code: codeBadSnapshot,
-					msg: fmt.Sprintf("%s is not shard %d of %d", path, i, len(s.providers))})
+					msg: fmt.Sprintf("%s is not shard %d of %d", path, i, len(t.providers))})
 			}
 		}
 	}
@@ -666,15 +750,15 @@ func (s *Server) reload(shard int) (ReloadResponse, *apiError) {
 	source := engines[0].BuildStats().Source
 	waits := make([]func(time.Duration) bool, len(idxs))
 	for j, i := range idxs {
-		_, waits[j] = s.providers[i].Swap(engines[j])
+		_, waits[j] = t.providers[i].Swap(engines[j])
 	}
-	gen := s.generation()
+	gen := t.generation()
 	// Stale generations are unreachable by key construction (every cache
 	// key embeds the leasing request's generation vector); dropping the
-	// cache here releases their memory at the swap instead of waiting for
-	// eviction.
-	if s.cache != nil {
-		s.cache.swap()
+	// tenant's cache here releases their memory at the swap instead of
+	// waiting for eviction.
+	if t.cache != nil {
+		t.cache.swap()
 	}
 	drained := true
 	deadline := time.Now().Add(s.cfg.ReloadDrainTimeout)
@@ -703,14 +787,16 @@ func (s *Server) reload(shard int) (ReloadResponse, *apiError) {
 func (s *Server) handleMetricsExposition(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var cache cirank.CacheStats
-	for _, p := range s.providers {
-		if lease := p.Acquire(); lease != nil {
-			c := lease.Engine().CacheStats()
-			lease.Release()
-			cache.ScoreHits += c.ScoreHits
-			cache.ScoreMisses += c.ScoreMisses
-			cache.BoundHits += c.BoundHits
-			cache.BoundMisses += c.BoundMisses
+	for _, t := range s.reg.all() {
+		for _, p := range t.providers {
+			if lease := p.Acquire(); lease != nil {
+				c := lease.Engine().CacheStats()
+				lease.Release()
+				cache.ScoreHits += c.ScoreHits
+				cache.ScoreMisses += c.ScoreMisses
+				cache.BoundHits += c.BoundHits
+				cache.BoundMisses += c.BoundMisses
+			}
 		}
 	}
 	s.m.writeTo(w, s.scrape(cache))

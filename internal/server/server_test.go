@@ -211,7 +211,7 @@ func TestAdmissionControl(t *testing.T) {
 	s, ts := newTestServer(t, Config{Engine: smallEngine(t), MaxInFlight: 2})
 	// Occupy both evaluation slots directly — deterministic saturation, no
 	// goroutine timing games.
-	if !s.adm.tryAcquire(1) || !s.adm.tryAcquire(1) {
+	if !s.firstTenant().adm.tryAcquire(1) || !s.firstTenant().adm.tryAcquire(1) {
 		t.Fatal("could not occupy the admission slots")
 	}
 	resp, err := http.Get(ts.URL + "/search?q=ullman")
@@ -226,13 +226,13 @@ func TestAdmissionControl(t *testing.T) {
 		t.Error("429 without Retry-After")
 	}
 	// Freeing one slot restores service.
-	s.adm.release(1)
+	s.firstTenant().adm.release(1)
 	var res SearchResponse
 	getJSON(t, ts.URL+"/search?q=ullman", http.StatusOK, &res)
 	if len(res.Results) == 0 {
 		t.Error("no results after slot freed")
 	}
-	s.adm.release(1)
+	s.firstTenant().adm.release(1)
 }
 
 // TestAdmissionCostBudget: expensive queries are priced by posting-list
@@ -241,7 +241,7 @@ func TestAdmissionControl(t *testing.T) {
 func TestAdmissionCostBudget(t *testing.T) {
 	s, ts := newTestServer(t, Config{Engine: smallEngine(t), AdmissionBudget: 3, MaxInFlight: 16})
 	// An idle server admits even an over-budget query.
-	if !s.adm.tryAcquire(100) {
+	if !s.firstTenant().adm.tryAcquire(100) {
 		t.Fatal("idle server rejected an expensive query")
 	}
 	// The budget is now exhausted: any further query is shed.
@@ -253,16 +253,16 @@ func TestAdmissionCostBudget(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-budget server: status %d, want 429", resp.StatusCode)
 	}
-	s.adm.release(100)
+	s.firstTenant().adm.release(100)
 	// Cache hits bypass admission entirely: warm the cache, re-saturate,
 	// and the same query must still answer 200.
 	var res SearchResponse
 	getJSON(t, ts.URL+"/search?q=ullman", http.StatusOK, &res)
-	if !s.adm.tryAcquire(100) {
+	if !s.firstTenant().adm.tryAcquire(100) {
 		t.Fatal("idle server rejected an expensive query")
 	}
 	getJSON(t, ts.URL+"/search?q=ullman", http.StatusOK, &res)
-	s.adm.release(100)
+	s.firstTenant().adm.release(100)
 }
 
 // TestSearchTimeout: an uncapped query on a dense engine returns well under

@@ -115,10 +115,12 @@ func TestShardedMetrics(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	for _, want := range []string{
-		`cirank_shard_generation{shard="0"} 1`,
-		`cirank_shard_generation{shard="1"} 1`,
-		`cirank_shard_leases{shard="0"} 0`,
+		`cirank_shard_generation{tenant="default",shard="0"} 1`,
+		`cirank_shard_generation{tenant="default",shard="1"} 1`,
+		`cirank_shard_leases{tenant="default",shard="0"} 0`,
 		"cirank_engine_generation 1",
+		`cirank_tenant_generation{tenant="default"} 1`,
+		`cirank_tenant_queries_total{tenant="default",status="ok"} 1`,
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("sharded metrics missing %q", want)

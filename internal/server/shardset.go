@@ -9,7 +9,7 @@ import (
 	"cirank"
 )
 
-// The serving stack behind a partitioned engine set. A sharded server runs
+// The serving stack behind a partitioned engine set. A sharded tenant runs
 // one Provider per shard, so every shard hot-reloads independently; a request
 // pins a lease on every shard at once and searches through a per-request
 // cirank.ShardedEngine coordinator assembled over exactly the engines it
@@ -52,23 +52,20 @@ func (q *queryLease) generations() []uint64 {
 	return gens
 }
 
-// sharded reports whether the server serves a partitioned engine set.
-func (s *Server) sharded() bool { return len(s.providers) > 1 }
-
-// acquire pins the current engine of every provider for one request. On a
-// sharded server it assembles the scatter-gather coordinator over exactly the
-// leased engines; independent per-shard reloads make a momentarily
-// inconsistent mix possible (a shard-by-shard corpus rollout), which the
-// coordinator's validation rejects — mapped to 503, the rollout finishes and
-// the next request sees a coherent set.
-func (s *Server) acquire() (*queryLease, *apiError) {
-	leases := make([]*Lease, 0, len(s.providers))
+// acquire pins the tenant's current engine of every provider for one
+// request. On a sharded tenant it assembles the scatter-gather coordinator
+// over exactly the leased engines; independent per-shard reloads make a
+// momentarily inconsistent mix possible (a shard-by-shard corpus rollout),
+// which the coordinator's validation rejects — mapped to 503, the rollout
+// finishes and the next request sees a coherent set.
+func (t *tenant) acquire() (*queryLease, *apiError) {
+	leases := make([]*Lease, 0, len(t.providers))
 	release := func() {
 		for _, l := range leases {
 			l.Release()
 		}
 	}
-	for _, p := range s.providers {
+	for _, p := range t.providers {
 		l := p.Acquire()
 		if l == nil {
 			release()
@@ -76,7 +73,7 @@ func (s *Server) acquire() (*queryLease, *apiError) {
 		}
 		leases = append(leases, l)
 	}
-	if !s.sharded() {
+	if !t.sharded() {
 		return &queryLease{leases: leases, engine: leases[0].Engine()}, nil
 	}
 	engines := make([]*cirank.Engine, len(leases))
@@ -87,7 +84,7 @@ func (s *Server) acquire() (*queryLease, *apiError) {
 	if err != nil {
 		release()
 		return nil, &apiError{status: http.StatusServiceUnavailable, code: codeUnavailable,
-			msg: "shard set is mid-rollout: " + err.Error(), retryAfter: true}
+			msg: "shard set is mid-rollout: " + err.Error(), retryAfterSecs: 1}
 	}
 	return &queryLease{leases: leases, engine: se}, nil
 }
@@ -98,6 +95,9 @@ func (s *Server) acquire() (*queryLease, *apiError) {
 // unsharded server it is the provider generation unchanged. 0 (closed) on
 // any closed shard.
 func compositeGeneration(gens []uint64) uint64 {
+	if len(gens) == 0 {
+		return 0
+	}
 	var sum uint64
 	for _, g := range gens {
 		if g == 0 {
@@ -108,32 +108,36 @@ func compositeGeneration(gens []uint64) uint64 {
 	return sum - uint64(len(gens)-1)
 }
 
-// generation reports the current composite generation without leasing, for
-// error envelopes and batch headers.
+// generation reports the server-wide composite generation without leasing,
+// for error envelopes and batch headers: the composite over every provider
+// of every tenant, in sorted tenant-name order. With a single tenant it is
+// that tenant's composite generation unchanged.
 func (s *Server) generation() uint64 {
-	gens := make([]uint64, len(s.providers))
-	for i, p := range s.providers {
-		gens[i] = p.Generation()
+	var gens []uint64
+	for _, t := range s.reg.all() {
+		for _, p := range t.providers {
+			gens = append(gens, p.Generation())
+		}
 	}
 	return compositeGeneration(gens)
 }
 
 // parseShardParam reads the optional shard selector of the reload endpoints:
-// -1 when absent (reload everything), the shard index otherwise. A shard
-// selector on an unsharded server, or out of range, is a 400.
-func (s *Server) parseShardParam(r *http.Request) (int, *apiError) {
+// -1 when absent (reload the tenant's whole set), the shard index otherwise.
+// A shard selector on an unsharded tenant, or out of range, is a 400.
+func parseShardParam(r *http.Request, t *tenant) (int, *apiError) {
 	v := r.URL.Query().Get("shard")
 	if v == "" {
 		return -1, nil
 	}
-	if !s.sharded() {
+	if !t.sharded() {
 		return 0, &apiError{status: http.StatusBadRequest, code: codeBadRequest,
-			msg: "shard parameter on an unsharded server"}
+			msg: "shard parameter on an unsharded tenant"}
 	}
 	i, err := strconv.Atoi(v)
-	if err != nil || i < 0 || i >= len(s.providers) {
+	if err != nil || i < 0 || i >= len(t.providers) {
 		return 0, &apiError{status: http.StatusBadRequest, code: codeBadRequest,
-			msg: fmt.Sprintf("bad shard %q: want an index in [0, %d)", v, len(s.providers))}
+			msg: fmt.Sprintf("bad shard %q: want an index in [0, %d)", v, len(t.providers))}
 	}
 	return i, nil
 }

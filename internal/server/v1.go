@@ -34,6 +34,10 @@ type V1SearchResponse struct {
 	Schema string `json:"schema"`
 	// Generation is the engine generation the result was computed against.
 	Generation uint64 `json:"generation"`
+	// Tenant is the resolved tenant the query ran against: the tenant
+	// request parameter, or the sole tenant's name when the parameter was
+	// absent.
+	Tenant string `json:"tenant"`
 	// Query is the raw q parameter.
 	Query string `json:"query"`
 	// Terms is the query's tokenization, as the engine searched it.
@@ -88,7 +92,41 @@ type V1HealthResponse struct {
 	// or "mmap" (shard 0's source on a sharded server).
 	Source string `json:"source"`
 	// Shards reports the partitions of a sharded server, in shard order;
-	// absent on an unsharded one.
+	// absent on an unsharded one. When the probe reports several tenants the
+	// top-level field stays absent and each tenant block carries its own.
+	Shards []V1ShardHealth `json:"shards,omitempty"`
+	// Tenants reports every probed tenant, in sorted name order: the tenant
+	// the request selected, the sole tenant, or all of them on a
+	// multi-tenant server probed without a tenant parameter. The top-level
+	// fields summarize the same view (nodes/edges summed across the blocks,
+	// the selected tenant's generation when one was selected, the
+	// server-wide composite otherwise).
+	Tenants []V1TenantHealth `json:"tenants,omitempty"`
+}
+
+// V1TenantHealth is one tenant's block in the /v1/healthz envelope.
+type V1TenantHealth struct {
+	// Name is the tenant's registry name (the tenant request parameter).
+	Name string `json:"name"`
+	// Generation is the tenant's composite generation: 1 for its initial
+	// engines, bumped by one for every reload that touched it.
+	Generation uint64 `json:"generation"`
+	// Nodes is the tenant's data graph node count.
+	Nodes int `json:"nodes"`
+	// Edges is the tenant's directed edge count.
+	Edges int `json:"edges"`
+	// Source is how the tenant's current engine data arrived.
+	Source string `json:"source"`
+	// Leases is the number of requests currently borrowing the tenant's
+	// engines, excluding the probe itself — an instantaneous gauge.
+	Leases int64 `json:"leases"`
+	// Weight is the tenant's share weight in the weighted-fair admission
+	// split.
+	Weight int64 `json:"weight"`
+	// AdmissionBudget is the tenant's current fair share of the global
+	// admission budget, in posting-entry cost units.
+	AdmissionBudget int64 `json:"admission_budget"`
+	// Shards reports a sharded tenant's partitions; absent when unsharded.
 	Shards []V1ShardHealth `json:"shards,omitempty"`
 }
 
@@ -114,9 +152,12 @@ type V1ShardHealth struct {
 type V1ReloadResponse struct {
 	// Schema is the envelope format identifier, always APISchema.
 	Schema string `json:"schema"`
-	// Generation is the new engine's generation number (the composite
-	// generation on a sharded server).
+	// Generation is the new engine's generation number (the reloaded
+	// tenant's composite generation on a sharded tenant).
 	Generation uint64 `json:"generation"`
+	// Tenant is the tenant the reload touched: the tenant request
+	// parameter, or the sole tenant's name when the parameter was absent.
+	Tenant string `json:"tenant"`
 	// Shard is the single partition the reload touched, present only when
 	// the request selected one with ?shard=i.
 	Shard *int `json:"shard,omitempty"`
@@ -140,6 +181,9 @@ type V1ReloadResponse struct {
 type V1BatchQuery struct {
 	// Q is the keyword query (required).
 	Q string `json:"q"`
+	// Tenant selects the corpus this entry queries; entries of one batch
+	// may target different tenants. Absent defaults to the sole tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// K overrides the answer count.
 	K *int `json:"k,omitempty"`
 	// Diameter overrides the answer-tree diameter limit.
@@ -161,6 +205,9 @@ type V1BatchRequest struct {
 type V1BatchResult struct {
 	// Query is the entry's raw q field.
 	Query string `json:"query"`
+	// Tenant is the resolved tenant the entry ran against (absent on
+	// per-entry errors).
+	Tenant string `json:"tenant,omitempty"`
 	// Terms is the query's tokenization (absent on per-entry errors).
 	Terms []string `json:"terms,omitempty"`
 	// K is the effective answer-count limit (absent on per-entry errors).
@@ -192,10 +239,11 @@ type V1BatchResponse struct {
 }
 
 // writeV1Error writes the /v1 error envelope, attaching Retry-After on
-// load-shedding rejections.
+// load-shedding rejections (with the rejecting tenant's own back-off hint
+// on a 429).
 func (s *Server) writeV1Error(w http.ResponseWriter, e *apiError) {
-	if e.retryAfter {
-		w.Header().Set("Retry-After", "1")
+	if e.retryAfterSecs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfterSecs))
 	}
 	writeJSON(w, e.status, V1ErrorResponse{
 		Schema:     APISchema,
@@ -226,22 +274,21 @@ func (s *Server) handleV1SingleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeV1Error(w, &apiError{status: http.StatusBadRequest, code: codeBadRequest, msg: errMsg})
 		return
 	}
-	out, served, apiErr := s.runQuery(r.Context(), params)
+	t, out, served, apiErr := s.resolveAndRun(r.Context(), params)
 	if apiErr != nil {
-		s.m.countOutcome(apiErr)
 		s.writeV1Error(w, apiErr)
 		return
 	}
-	s.recordSuccess(out)
-	writeJSON(w, http.StatusOK, v1SearchResponse(params, out, served))
+	writeJSON(w, http.StatusOK, v1SearchResponse(t.name, params, out, served))
 }
 
 // v1SearchResponse assembles the single-query success envelope.
-func v1SearchResponse(p searchParams, out queryOutcome, served string) V1SearchResponse {
+func v1SearchResponse(tenantName string, p searchParams, out queryOutcome, served string) V1SearchResponse {
 	legacy := searchResponse(p, out.res)
 	return V1SearchResponse{
 		Schema:     APISchema,
 		Generation: out.generation,
+		Tenant:     tenantName,
 		Query:      legacy.Query,
 		Terms:      legacy.Terms,
 		K:          legacy.K,
@@ -299,7 +346,7 @@ func (s *Server) handleV1BatchSearch(w http.ResponseWriter, r *http.Request) {
 // runBatchEntry validates and runs one batch entry, producing its response
 // slot. Entry failures are per-entry: they never fail the whole batch.
 func (s *Server) runBatchEntry(r *http.Request, q V1BatchQuery) V1BatchResult {
-	fields := map[string]string{"q": q.Q, "timeout": q.Timeout}
+	fields := map[string]string{"q": q.Q, "timeout": q.Timeout, "tenant": q.Tenant}
 	for key, v := range map[string]*int{"k": q.K, "diameter": q.Diameter, "workers": q.Workers} {
 		if v != nil {
 			fields[key] = strconv.Itoa(*v)
@@ -310,15 +357,14 @@ func (s *Server) runBatchEntry(r *http.Request, q V1BatchQuery) V1BatchResult {
 		s.m.badRequest.Add(1)
 		return V1BatchResult{Query: q.Q, Error: &V1Error{Code: codeBadRequest, Message: errMsg}}
 	}
-	out, served, apiErr := s.runQuery(r.Context(), params)
+	t, out, served, apiErr := s.resolveAndRun(r.Context(), params)
 	if apiErr != nil {
-		s.m.countOutcome(apiErr)
 		return V1BatchResult{Query: q.Q, Error: &V1Error{Code: apiErr.code, Message: apiErr.msg}}
 	}
-	s.recordSuccess(out)
-	env := v1SearchResponse(params, out, served)
+	env := v1SearchResponse(t.name, params, out, served)
 	return V1BatchResult{
 		Query:      env.Query,
+		Tenant:     env.Tenant,
 		Terms:      env.Terms,
 		K:          env.K,
 		Generation: env.Generation,
@@ -327,56 +373,94 @@ func (s *Server) runBatchEntry(r *http.Request, q V1BatchQuery) V1BatchResult {
 	}
 }
 
-// handleV1Healthz answers the versioned liveness/readiness probe. A sharded
-// server additionally reports every partition: its own generation, source
-// and outstanding lease count.
+// handleV1Healthz answers the versioned liveness/readiness probe: one block
+// per probed tenant (every tenant by default, one with ?tenant=<name>),
+// each with its own generation, lease gauge and fair admission share — and,
+// on a sharded tenant, every partition. The top-level fields summarize the
+// probed view for single-tenant compatibility.
 func (s *Server) handleV1Healthz(w http.ResponseWriter, r *http.Request) {
-	ql, apiErr := s.acquire()
+	tenants, apiErr := s.healthTargets(r)
 	if apiErr != nil {
+		if apiErr.code == codeUnknownTenant {
+			s.writeV1Error(w, apiErr)
+			return
+		}
 		writeJSON(w, apiErr.status, V1HealthResponse{Schema: APISchema, Status: "closed"})
 		return
 	}
 	resp := V1HealthResponse{
 		Schema:     APISchema,
-		Generation: compositeGeneration(ql.generations()),
+		Generation: s.generation(),
 		Status:     "ok",
-		Nodes:      ql.engine.NumNodes(),
-		Edges:      ql.engine.NumEdges(),
-		Source:     ql.leases[0].Engine().BuildStats().Source,
+		Tenants:    make([]V1TenantHealth, 0, len(tenants)),
 	}
-	if s.sharded() {
-		resp.Shards = make([]V1ShardHealth, len(ql.leases))
-		for i, l := range ql.leases {
-			resp.Shards[i] = V1ShardHealth{
-				Index:      i,
-				Generation: l.Generation(),
-				Edges:      l.Engine().NumEdges(),
-				Source:     l.Engine().BuildStats().Source,
+	for _, t := range tenants {
+		ql, apiErr := t.acquire()
+		if apiErr != nil {
+			writeJSON(w, apiErr.status, V1HealthResponse{Schema: APISchema, Status: "closed"})
+			return
+		}
+		th := V1TenantHealth{
+			Name:            t.name,
+			Generation:      compositeGeneration(ql.generations()),
+			Nodes:           ql.engine.NumNodes(),
+			Edges:           ql.engine.NumEdges(),
+			Source:          ql.leases[0].Engine().BuildStats().Source,
+			Weight:          t.weight,
+			AdmissionBudget: t.adm.budget.Load(),
+		}
+		if t.sharded() {
+			th.Shards = make([]V1ShardHealth, len(ql.leases))
+			for i, l := range ql.leases {
+				th.Shards[i] = V1ShardHealth{
+					Index:      i,
+					Generation: l.Generation(),
+					Edges:      l.Engine().NumEdges(),
+					Source:     l.Engine().BuildStats().Source,
+				}
 			}
 		}
+		// Release before reading the lease gauges so the probe's own borrows
+		// don't inflate them — an idle server reports 0.
+		ql.Release()
+		th.Leases = t.leases()
+		for i := range th.Shards {
+			th.Shards[i].Leases = t.providers[i].Leases()
+		}
+		resp.Tenants = append(resp.Tenants, th)
+		resp.Nodes += th.Nodes
+		resp.Edges += th.Edges
+		if resp.Source == "" {
+			resp.Source = th.Source
+		}
 	}
-	// Release before reading the lease gauges so the probe's own borrows
-	// don't inflate them — an idle server reports 0.
-	ql.Release()
-	for i := range resp.Shards {
-		resp.Shards[i].Leases = s.providers[i].Leases()
+	if len(resp.Tenants) == 1 {
+		resp.Generation = resp.Tenants[0].Generation
+		resp.Shards = resp.Tenants[0].Shards
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleV1Reload answers the versioned hot-reload endpoint.
+// handleV1Reload answers the versioned hot-reload endpoint. The tenant
+// parameter selects which corpus to reload (the sole tenant when absent);
+// ?shard=i additionally narrows a sharded tenant to one partition.
 func (s *Server) handleV1Reload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeV1Error(w, &apiError{status: http.StatusMethodNotAllowed, code: codeMethodNotAllowed, msg: "use POST"})
 		return
 	}
-	shard, apiErr := s.parseShardParam(r)
+	t, apiErr := s.resolveTenant(r.URL.Query().Get("tenant"))
 	if apiErr != nil {
 		s.writeV1Error(w, apiErr)
 		return
 	}
-	rel, apiErr := s.reload(shard)
+	shard, apiErr := parseShardParam(r, t)
+	if apiErr != nil {
+		s.writeV1Error(w, apiErr)
+		return
+	}
+	rel, apiErr := s.reload(t, shard)
 	if apiErr != nil {
 		s.writeV1Error(w, apiErr)
 		return
@@ -384,6 +468,7 @@ func (s *Server) handleV1Reload(w http.ResponseWriter, r *http.Request) {
 	resp := V1ReloadResponse{
 		Schema:     APISchema,
 		Generation: rel.Generation,
+		Tenant:     t.name,
 		Status:     rel.Status,
 		Nodes:      rel.Nodes,
 		Edges:      rel.Edges,

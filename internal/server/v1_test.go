@@ -541,7 +541,8 @@ func TestResultCacheSwap(t *testing.T) {
 // TestAdmissionUnit drives the controller's three regimes directly:
 // concurrency cap, cost budget, and the idle-server override.
 func TestAdmissionUnit(t *testing.T) {
-	a := admission{budget: 10, maxConcurrent: 2}
+	a := admission{maxConcurrent: 2}
+	a.budget.Store(10)
 	if !a.tryAcquire(100) {
 		t.Fatal("idle server rejected an over-budget query")
 	}
